@@ -1,0 +1,92 @@
+//! Criterion benchmarks of the *real* multi-threaded CPU coder on the host
+//! machine: the two Fig. 10 partitionings, the dense-vs-sparse coefficient
+//! ablation, and parallel multi-segment decoding.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nc_cpu::{ParallelEncoder, ParallelSegmentDecoder, Partitioning};
+use nc_rlnc::{CodingConfig, CoefficientRng, Encoder, Segment};
+use rand::{Rng, SeedableRng};
+
+fn encode_partitionings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu_encode");
+    let n = 64usize;
+    let m = 16usize;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    for k in [256usize, 4096] {
+        let config = CodingConfig::new(n, k).unwrap();
+        let data: Vec<u8> = (0..config.segment_bytes()).map(|_| rng.gen()).collect();
+        let segment = Segment::from_bytes(config, data).unwrap();
+        let coeffs: Vec<Vec<u8>> = (0..m)
+            .map(|_| (0..n).map(|_| rng.gen_range(1..=255)).collect())
+            .collect();
+        group.throughput(Throughput::Bytes((m * k) as u64));
+        for (label, partitioning) in [
+            ("full_block", Partitioning::FullBlock),
+            ("partitioned_block", Partitioning::PartitionedBlock),
+        ] {
+            let encoder = ParallelEncoder::new(segment.clone(), 4, partitioning);
+            group.bench_with_input(BenchmarkId::new(label, k), &k, |b, _| {
+                b.iter(|| encoder.encode_batch(black_box(&coeffs)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn sparse_vs_dense(c: &mut Criterion) {
+    // The paper benchmarks fully dense matrices and notes "the performance
+    // will be even higher with sparser matrices" — quantify it.
+    let mut group = c.benchmark_group("coefficient_density");
+    let config = CodingConfig::new(64, 1024).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let data: Vec<u8> = (0..config.segment_bytes()).map(|_| rng.gen()).collect();
+    let reference = Encoder::new(Segment::from_bytes(config, data).unwrap());
+    group.throughput(Throughput::Bytes(1024));
+    for density in [1.0f64, 0.5, 0.1] {
+        let coeff_rng = if density >= 1.0 {
+            CoefficientRng::dense()
+        } else {
+            CoefficientRng::sparse(density)
+        };
+        group.bench_with_input(
+            BenchmarkId::new("encode_one_block", format!("{density}")),
+            &density,
+            |b, _| {
+                b.iter(|| {
+                    let coeffs = coeff_rng.draw(&mut rng, 64);
+                    reference.encode_with_coefficients(black_box(coeffs)).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn multi_segment_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu_multi_segment_decode");
+    let config = CodingConfig::new(32, 512).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let segments = 4usize;
+    let inputs: Vec<_> = (0..segments)
+        .map(|_| {
+            let data: Vec<u8> = (0..config.segment_bytes()).map(|_| rng.gen()).collect();
+            let enc = Encoder::new(Segment::from_bytes(config, data).unwrap());
+            enc.encode_batch(&mut rng, config.blocks() + 4)
+        })
+        .collect();
+    group.throughput(Throughput::Bytes((segments * config.segment_bytes()) as u64));
+    for threads in [1usize, 4] {
+        let decoder = ParallelSegmentDecoder::new(config, threads);
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
+            b.iter(|| decoder.decode_segments(black_box(&inputs)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = encode_partitionings, sparse_vs_dense, multi_segment_decode
+}
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Criterion micro-benchmarks of the GF(2^8) primitives: the scalar
+//! multiplication strategies the paper contrasts, and the region operations
+//! all coding reduces to (per backend).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nc_gf256::logdomain::{mul_rlog, to_rlog};
+use nc_gf256::region::{mul_add_assign_with, Backend};
+use nc_gf256::scalar::{mul_full_table, mul_loop, mul_table};
+use nc_gf256::wide::mul_word64;
+use rand::{Rng, SeedableRng};
+
+fn scalar_multiplication(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalar_mul");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let pairs: Vec<(u8, u8)> = (0..1024).map(|_| (rng.gen(), rng.gen())).collect();
+    group.throughput(Throughput::Elements(pairs.len() as u64));
+
+    group.bench_function("log_exp_table", |b| {
+        b.iter(|| {
+            let mut acc = 0u8;
+            for &(x, y) in &pairs {
+                acc ^= mul_table(black_box(x), black_box(y));
+            }
+            acc
+        })
+    });
+    group.bench_function("loop_based", |b| {
+        b.iter(|| {
+            let mut acc = 0u8;
+            for &(x, y) in &pairs {
+                acc ^= mul_loop(black_box(x), black_box(y));
+            }
+            acc
+        })
+    });
+    group.bench_function("full_table", |b| {
+        b.iter(|| {
+            let mut acc = 0u8;
+            for &(x, y) in &pairs {
+                acc ^= mul_full_table(black_box(x), black_box(y));
+            }
+            acc
+        })
+    });
+    group.bench_function("log_domain_preprocessed", |b| {
+        let log_pairs: Vec<(u16, u16)> =
+            pairs.iter().map(|&(x, y)| (to_rlog(x), to_rlog(y))).collect();
+        b.iter(|| {
+            let mut acc = 0u8;
+            for &(lx, ly) in &log_pairs {
+                acc ^= mul_rlog(black_box(lx), black_box(ly));
+            }
+            acc
+        })
+    });
+    group.bench_function("loop_based_wide64", |b| {
+        let words: Vec<(u8, u64)> = (0..128).map(|i| (pairs[i].0, rng.gen())).collect();
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(c8, w) in &words {
+                acc ^= mul_word64(black_box(c8), black_box(w));
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn region_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("region_mul_add");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    for size in [1024usize, 16 * 1024] {
+        let src: Vec<u8> = (0..size).map(|_| rng.gen()).collect();
+        group.throughput(Throughput::Bytes(size as u64));
+        for backend in Backend::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{backend:?}"), size),
+                &size,
+                |b, _| {
+                    let mut dst = vec![0u8; size];
+                    b.iter(|| {
+                        mul_add_assign_with(backend, &mut dst, black_box(&src), 0x53);
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = scalar_multiplication, region_backends
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion benchmarks of the core RLNC primitives: progressive vs
+//! two-stage decoding (the host-side mirror of the paper's Sec. 5.2
+//! restructuring) and recoding.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nc_rlnc::{CodingConfig, Decoder, Encoder, Recoder, Segment, TwoStageDecoder};
+use rand::{Rng, SeedableRng};
+
+fn decoders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    for (n, k) in [(32usize, 1024usize), (64, 1024)] {
+        let config = CodingConfig::new(n, k).unwrap();
+        let data: Vec<u8> = (0..config.segment_bytes()).map(|_| rng.gen()).collect();
+        let enc = Encoder::new(Segment::from_bytes(config, data).unwrap());
+        let blocks = enc.encode_batch(&mut rng, n + 4);
+        group.throughput(Throughput::Bytes(config.segment_bytes() as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("progressive_gauss_jordan", format!("n{n}_k{k}")),
+            &config,
+            |b, &config| {
+                b.iter(|| {
+                    let mut dec = Decoder::new(config);
+                    for blk in &blocks {
+                        if dec.is_complete() {
+                            break;
+                        }
+                        dec.push(black_box(blk.clone())).unwrap();
+                    }
+                    dec.recover().unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("two_stage_invert_multiply", format!("n{n}_k{k}")),
+            &config,
+            |b, &config| {
+                b.iter(|| {
+                    let mut dec = TwoStageDecoder::new(config);
+                    for blk in &blocks {
+                        if dec.is_full() {
+                            break;
+                        }
+                        dec.push(black_box(blk.clone())).unwrap();
+                    }
+                    dec.decode().unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn recoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recode");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let config = CodingConfig::new(64, 4096).unwrap();
+    let data: Vec<u8> = (0..config.segment_bytes()).map(|_| rng.gen()).collect();
+    let enc = Encoder::new(Segment::from_bytes(config, data).unwrap());
+    let mut recoder = Recoder::new(config);
+    for _ in 0..64 {
+        recoder.push(enc.encode(&mut rng)).unwrap();
+    }
+    group.throughput(Throughput::Bytes(config.block_size() as u64));
+    group.bench_function("recode_one_block_64_buffered", |b| {
+        b.iter(|| recoder.recode(black_box(&mut rng)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = decoders, recoding
+}
+criterion_main!(benches);

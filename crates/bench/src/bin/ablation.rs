@@ -1,0 +1,7 @@
+//! Ablation studies of the paper's design choices (DESIGN.md §5).
+//!
+//! Run with `cargo run -p nc-bench --release --bin ablation`.
+
+fn main() {
+    print!("{}", nc_bench::report::ablations());
+}

@@ -1,0 +1,100 @@
+//! Calibration probe: prints the simulator's value at every anchor point
+//! the cost model was fitted to (DESIGN.md §7), next to the paper's number.
+//!
+//! Run with `cargo run -p nc-bench --release --bin calibrate`.
+
+use nc_bench::grids::to_mb;
+use nc_gpu::api::EncodeScheme;
+use nc_gpu::decode_single::DecodeOptions;
+use nc_gpu::{Fidelity, GpuEncoder, GpuMultiDecoder, GpuProgressiveDecoder, TableVariant};
+use nc_gpu_sim::DeviceSpec;
+use nc_rlnc::CodingConfig;
+
+fn main() {
+    println!("anchor                                paper     model");
+    println!("----------------------------------------------------");
+
+    // Loop-based encode, GTX 280, n=128 (plateau over k).
+    for (n, paper) in [(128usize, 133.0f64), (256, 66.0), (512, 33.6)] {
+        let mut enc = GpuEncoder::new(DeviceSpec::gtx280(), EncodeScheme::LoopBased);
+        let m = enc.measure(n, 4096, n, 1);
+        println!("LB encode GTX280 n={n:<4} k=4K       {paper:>7.1}  {:>8.1}", to_mb(m.rate));
+    }
+    // 8800 GT loop-based.
+    let mut enc = GpuEncoder::new(DeviceSpec::geforce_8800gt(), EncodeScheme::LoopBased);
+    let m = enc.measure(128, 4096, 128, 1);
+    println!("LB encode 8800GT n=128 k=4K        {:>7.1}  {:>8.1}", 66.0, to_mb(m.rate));
+
+    // Table-based ladder, n=128, k=4K.
+    let ladder = [
+        (TableVariant::Tb0, 16.0),
+        (TableVariant::Tb1, 172.0),
+        (TableVariant::Tb2, 193.0),
+        (TableVariant::Tb3, 208.0),
+        (TableVariant::Tb4, 239.0),
+        (TableVariant::Tb5, 294.0),
+    ];
+    for (v, paper) in ladder {
+        let mut enc = GpuEncoder::new(DeviceSpec::gtx280(), EncodeScheme::Table(v));
+        let m = enc.measure(128, 4096, 128, 2);
+        println!("{v:?} encode GTX280 n=128 k=4K       {paper:>7.1}  {:>8.1}", to_mb(m.rate));
+    }
+
+    // Single-segment decode, GTX 280, n=128 at several k.
+    for (k, note) in [(1024usize, "(CPU wins here)"), (8192, "(crossover ~57)"), (16384, "")] {
+        let config = CodingConfig::new(128, k).unwrap();
+        let mut dec = GpuProgressiveDecoder::new(
+            DeviceSpec::gtx280(),
+            config,
+            DecodeOptions::default(),
+            Fidelity::Timing,
+        );
+        let mut rng_seed = 0u64;
+        while !dec.is_complete() {
+            rng_seed += 1;
+            let (c, p) = synth_block(128, k, rng_seed);
+            dec.push(&c, &p);
+        }
+        let rate = (128 * k) as f64 / dec.kernel_seconds();
+        println!("SS decode GTX280 n=128 k={k:<6}  {:>7}  {:>8.1}  {note}", "?", to_mb(rate));
+    }
+
+    // Multi-segment decode, GTX 280, n=128, k=16K: 30-seg and 60-seg.
+    let config = CodingConfig::new(128, 16384).unwrap();
+    let mut md = GpuMultiDecoder::new(DeviceSpec::gtx280());
+    let o30 = md.measure(config, 30, 3);
+    let o60 = md.measure(config, 60, 4);
+    println!(
+        "MS decode GTX280 30seg n=128 k=16K {:>7.1}  {:>8.1}  (stage1 {:.0}%)",
+        180.0,
+        to_mb(o30.rate),
+        o30.stage1_share * 100.0
+    );
+    println!(
+        "MS decode GTX280 60seg n=128 k=16K {:>7.1}  {:>8.1}  (stage1 {:.0}%)",
+        254.0,
+        to_mb(o60.rate),
+        o60.stage1_share * 100.0
+    );
+    let config_small = CodingConfig::new(128, 1024).unwrap();
+    let o30s = md.measure(config_small, 30, 5);
+    let o60s = md.measure(config_small, 60, 6);
+    println!(
+        "MS decode GTX280 30seg n=128 k=1K  stage1 share paper 64%: {:.0}%  rate {:.1}",
+        o30s.stage1_share * 100.0,
+        to_mb(o30s.rate)
+    );
+    println!(
+        "MS decode GTX280 60seg n=128 k=1K  stage1 share paper 48%: {:.0}%  rate {:.1}",
+        o60s.stage1_share * 100.0,
+        to_mb(o60s.rate)
+    );
+}
+
+fn synth_block(n: usize, k: usize, seed: u64) -> (Vec<u8>, Vec<u8>) {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let coeffs: Vec<u8> = (0..n).map(|_| rng.gen_range(1..=255)).collect();
+    let payload: Vec<u8> = (0..k).map(|_| rng.gen()).collect();
+    (coeffs, payload)
+}

@@ -1,0 +1,7 @@
+//! Figure 10: CPU full-block vs partitioned-block encoding.
+//!
+//! Run with `cargo run -p nc-bench --release --bin fig10`.
+
+fn main() {
+    print!("{}", nc_bench::report::fig10());
+}

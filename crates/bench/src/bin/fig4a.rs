@@ -1,0 +1,7 @@
+//! Figure 4(a): loop-based GPU encoding, GTX 280 vs 8800 GT.
+//!
+//! Run with `cargo run -p nc-bench --release --bin fig4a`.
+
+fn main() {
+    print!("{}", nc_bench::report::fig4a());
+}

@@ -1,0 +1,7 @@
+//! Figure 4(b): single-segment GPU decoding vs the Mac Pro.
+//!
+//! Run with `cargo run -p nc-bench --release --bin fig4b`.
+
+fn main() {
+    print!("{}", nc_bench::report::fig4b());
+}

@@ -1,0 +1,7 @@
+//! Figure 6: table-based vs loop-based encoding on the GTX 280.
+//!
+//! Run with `cargo run -p nc-bench --release --bin fig6`.
+
+fn main() {
+    print!("{}", nc_bench::report::fig6());
+}

@@ -1,0 +1,7 @@
+//! Figure 7: the table-based optimization ladder at n=128.
+//!
+//! Run with `cargo run -p nc-bench --release --bin fig7`.
+
+fn main() {
+    print!("{}", nc_bench::report::fig7());
+}

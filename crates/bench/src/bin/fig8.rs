@@ -1,0 +1,7 @@
+//! Figure 8: Table-based-5 encoding across n up to 1024.
+//!
+//! Run with `cargo run -p nc-bench --release --bin fig8`.
+
+fn main() {
+    print!("{}", nc_bench::report::fig8());
+}

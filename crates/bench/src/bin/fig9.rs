@@ -1,0 +1,7 @@
+//! Figure 9: parallel multi-segment decoding.
+//!
+//! Run with `cargo run -p nc-bench --release --bin fig9`.
+
+fn main() {
+    print!("{}", nc_bench::report::fig9());
+}

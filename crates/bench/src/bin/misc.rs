@@ -1,0 +1,7 @@
+//! The paper's in-text measurements (Secs. 4.3, 4.4, 5.1.3, 5.4).
+//!
+//! Run with `cargo run -p nc-bench --release --bin misc`.
+
+fn main() {
+    print!("{}", nc_bench::report::misc());
+}

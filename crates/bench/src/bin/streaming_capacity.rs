@@ -1,0 +1,7 @@
+//! The Sec. 5.1.1 streaming-server capacity table.
+//!
+//! Run with `cargo run -p nc-bench --release --bin streaming_capacity`.
+
+fn main() {
+    print!("{}", nc_bench::report::streaming_capacity());
+}

@@ -1,0 +1,20 @@
+//! Reproduction harness for every table and figure of the paper.
+//!
+//! One binary per figure (`fig4a`, `fig4b`, `fig6`, `fig7`, `fig8`, `fig9`,
+//! `fig10`), plus `misc` for the in-text numbers, `streaming_capacity` for
+//! the Sec. 5.1.1 scenario, and `all` to regenerate the data behind
+//! EXPERIMENTS.md. Each binary prints the same series the paper plots.
+//!
+//! Shared here: the configuration grids, series containers, and an aligned
+//! table printer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod grids;
+pub mod report;
+pub mod runners;
+pub mod series;
+
+pub use grids::{block_sizes, BLOCK_COUNTS};
+pub use series::{format_table, Series};

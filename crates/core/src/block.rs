@@ -1,0 +1,142 @@
+//! Coded blocks and their wire format.
+
+use crate::error::Error;
+use crate::segment::CodingConfig;
+
+/// One coded block `x_j = Σ c_ji · b_i`: the coefficient vector that
+/// produced it plus the `k`-byte coded payload.
+///
+/// The coefficients travel with the block (the standard practical-network-
+/// coding header of Chou et al.), so any receiver can decode or recode
+/// without coordination.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CodedBlock {
+    coefficients: Vec<u8>,
+    payload: Vec<u8>,
+}
+
+impl CodedBlock {
+    /// Assembles a coded block from its parts.
+    pub fn new(coefficients: Vec<u8>, payload: Vec<u8>) -> CodedBlock {
+        CodedBlock { coefficients, payload }
+    }
+
+    /// The coefficient vector `[c_1 … c_n]`.
+    #[inline]
+    pub fn coefficients(&self) -> &[u8] {
+        &self.coefficients
+    }
+
+    /// The coded payload (`k` bytes).
+    #[inline]
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Number of coefficients (`n` of the generation that produced it).
+    #[inline]
+    pub fn generation_size(&self) -> usize {
+        self.coefficients.len()
+    }
+
+    /// Whether every coefficient is zero (such a block carries no
+    /// information and is discarded by decoders).
+    pub fn is_zero(&self) -> bool {
+        self.coefficients.iter().all(|&c| c == 0)
+    }
+
+    /// Validates the block against a configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::CoefficientCountMismatch`] or [`Error::SizeMismatch`] when
+    /// the block does not belong to a `(n, k)` generation of that shape.
+    pub fn check(&self, config: CodingConfig) -> Result<(), Error> {
+        if self.coefficients.len() != config.blocks() {
+            return Err(Error::CoefficientCountMismatch {
+                expected: config.blocks(),
+                actual: self.coefficients.len(),
+            });
+        }
+        if self.payload.len() != config.block_size() {
+            return Err(Error::SizeMismatch {
+                expected: config.block_size(),
+                actual: self.payload.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Serializes to the wire format: `n` coefficient bytes followed by the
+    /// payload.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.coefficients.len() + self.payload.len());
+        out.extend_from_slice(&self.coefficients);
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses the wire format produced by [`CodedBlock::to_wire`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::SizeMismatch`] if `bytes` is not exactly
+    /// `config.coded_block_bytes()` long.
+    pub fn from_wire(config: CodingConfig, bytes: &[u8]) -> Result<CodedBlock, Error> {
+        if bytes.len() != config.coded_block_bytes() {
+            return Err(Error::SizeMismatch {
+                expected: config.coded_block_bytes(),
+                actual: bytes.len(),
+            });
+        }
+        let (coeffs, payload) = bytes.split_at(config.blocks());
+        Ok(CodedBlock { coefficients: coeffs.to_vec(), payload: payload.to_vec() })
+    }
+
+    /// Deconstructs into `(coefficients, payload)`.
+    pub fn into_parts(self) -> (Vec<u8>, Vec<u8>) {
+        (self.coefficients, self.payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CodingConfig {
+        CodingConfig::new(4, 6).unwrap()
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let block = CodedBlock::new(vec![1, 2, 3, 4], vec![9; 6]);
+        let wire = block.to_wire();
+        assert_eq!(wire.len(), cfg().coded_block_bytes());
+        let parsed = CodedBlock::from_wire(cfg(), &wire).unwrap();
+        assert_eq!(parsed, block);
+    }
+
+    #[test]
+    fn from_wire_rejects_bad_length() {
+        assert!(CodedBlock::from_wire(cfg(), &[0u8; 9]).is_err());
+    }
+
+    #[test]
+    fn check_validates_shape() {
+        let good = CodedBlock::new(vec![0; 4], vec![0; 6]);
+        assert!(good.check(cfg()).is_ok());
+        let bad_coeffs = CodedBlock::new(vec![0; 5], vec![0; 6]);
+        assert!(matches!(
+            bad_coeffs.check(cfg()),
+            Err(Error::CoefficientCountMismatch { expected: 4, actual: 5 })
+        ));
+        let bad_payload = CodedBlock::new(vec![0; 4], vec![0; 7]);
+        assert!(matches!(bad_payload.check(cfg()), Err(Error::SizeMismatch { .. })));
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(CodedBlock::new(vec![0; 4], vec![1; 6]).is_zero());
+        assert!(!CodedBlock::new(vec![0, 0, 1, 0], vec![0; 6]).is_zero());
+    }
+}

@@ -1,0 +1,183 @@
+//! The network encoder: random linear combinations of source blocks.
+
+use crate::block::CodedBlock;
+use crate::coeff::CoefficientRng;
+use crate::error::Error;
+use crate::segment::{CodingConfig, Segment};
+use nc_gf256::region;
+use rand::Rng;
+
+/// Produces coded blocks from one source segment (the paper's Eq. 1:
+/// `x_j = Σ_i c_ji · b_i`).
+///
+/// The encoder is stateless between calls, so a streaming server can share
+/// one `Encoder` across request-handling threads.
+///
+/// ```
+/// use nc_rlnc::{CodingConfig, Encoder, Segment};
+/// use rand::SeedableRng;
+///
+/// let config = CodingConfig::new(8, 64)?;
+/// let segment = Segment::from_bytes(config, vec![7u8; config.segment_bytes()])?;
+/// let encoder = Encoder::new(segment);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let block = encoder.encode(&mut rng);
+/// assert_eq!(block.coefficients().len(), 8);
+/// assert_eq!(block.payload().len(), 64);
+/// # Ok::<(), nc_rlnc::Error>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Encoder {
+    segment: Segment,
+    coeff_rng: CoefficientRng,
+}
+
+impl Encoder {
+    /// Creates an encoder over `segment` drawing fully dense coefficients.
+    pub fn new(segment: Segment) -> Encoder {
+        Encoder { segment, coeff_rng: CoefficientRng::dense() }
+    }
+
+    /// Creates an encoder with a custom coefficient distribution.
+    pub fn with_coefficients(segment: Segment, coeff_rng: CoefficientRng) -> Encoder {
+        Encoder { segment, coeff_rng }
+    }
+
+    /// The coding configuration of the underlying segment.
+    #[inline]
+    pub fn config(&self) -> CodingConfig {
+        self.segment.config()
+    }
+
+    /// The source segment.
+    #[inline]
+    pub fn segment(&self) -> &Segment {
+        &self.segment
+    }
+
+    /// Generates one coded block with freshly drawn random coefficients.
+    pub fn encode(&self, rng: &mut impl Rng) -> CodedBlock {
+        let coeffs = self.coeff_rng.draw(rng, self.config().blocks());
+        self.encode_with_coefficients_unchecked(coeffs)
+    }
+
+    /// Generates `count` coded blocks (the streaming-server batch pattern:
+    /// generate many, buffer, deliver on demand — Sec. 5.3).
+    pub fn encode_batch(&self, rng: &mut impl Rng, count: usize) -> Vec<CodedBlock> {
+        (0..count).map(|_| self.encode(rng)).collect()
+    }
+
+    /// Generates the coded block for a caller-supplied coefficient vector.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::CoefficientCountMismatch`] if `coefficients.len() != n`.
+    pub fn encode_with_coefficients(&self, coefficients: Vec<u8>) -> Result<CodedBlock, Error> {
+        if coefficients.len() != self.config().blocks() {
+            return Err(Error::CoefficientCountMismatch {
+                expected: self.config().blocks(),
+                actual: coefficients.len(),
+            });
+        }
+        Ok(self.encode_with_coefficients_unchecked(coefficients))
+    }
+
+    /// The `i`-th *systematic* block: coefficient vector `e_i`, payload
+    /// `b_i` verbatim. Useful for the initial round of content distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    pub fn systematic(&self, i: usize) -> CodedBlock {
+        let n = self.config().blocks();
+        assert!(i < n, "systematic index {i} out of range for n={n}");
+        let mut coeffs = vec![0u8; n];
+        coeffs[i] = 1;
+        CodedBlock::new(coeffs, self.segment.block(i).to_vec())
+    }
+
+    fn encode_with_coefficients_unchecked(&self, coefficients: Vec<u8>) -> CodedBlock {
+        let k = self.config().block_size();
+        let mut payload = vec![0u8; k];
+        for (i, &c) in coefficients.iter().enumerate() {
+            region::mul_add_assign(&mut payload, self.segment.block(i), c);
+        }
+        CodedBlock::new(coefficients, payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_gf256::scalar::mul_table;
+    use rand::SeedableRng;
+
+    fn setup() -> (CodingConfig, Encoder) {
+        let config = CodingConfig::new(4, 16).unwrap();
+        let data: Vec<u8> = (0..64u8).collect();
+        let segment = Segment::from_bytes(config, data).unwrap();
+        (config, Encoder::new(segment))
+    }
+
+    #[test]
+    fn coded_block_matches_manual_combination() {
+        let (config, encoder) = setup();
+        let coeffs = vec![0x02, 0x00, 0x53, 0x01];
+        let block = encoder.encode_with_coefficients(coeffs.clone()).unwrap();
+        for byte in 0..config.block_size() {
+            let mut want = 0u8;
+            for (i, &c) in coeffs.iter().enumerate() {
+                want ^= mul_table(c, encoder.segment().block(i)[byte]);
+            }
+            assert_eq!(block.payload()[byte], want, "byte {byte}");
+        }
+    }
+
+    #[test]
+    fn systematic_blocks_reproduce_sources() {
+        let (config, encoder) = setup();
+        for i in 0..config.blocks() {
+            let block = encoder.systematic(i);
+            assert_eq!(block.payload(), encoder.segment().block(i));
+            assert_eq!(block.coefficients().iter().filter(|&&c| c != 0).count(), 1);
+            assert_eq!(block.coefficients()[i], 1);
+        }
+    }
+
+    #[test]
+    fn wrong_coefficient_count_is_rejected() {
+        let (_, encoder) = setup();
+        assert!(encoder.encode_with_coefficients(vec![1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn batch_produces_distinct_blocks() {
+        let (_, encoder) = setup();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let batch = encoder.encode_batch(&mut rng, 8);
+        assert_eq!(batch.len(), 8);
+        // With dense random coefficients, collisions are essentially
+        // impossible at this size.
+        for i in 0..batch.len() {
+            for j in i + 1..batch.len() {
+                assert_ne!(batch[i].coefficients(), batch[j].coefficients());
+            }
+        }
+    }
+
+    #[test]
+    fn encoding_is_linear() {
+        // encode(c1) + encode(c2) == encode(c1 + c2) — the homomorphism that
+        // makes recoding possible.
+        let (config, encoder) = setup();
+        let c1 = vec![1u8, 2, 3, 4];
+        let c2 = vec![9u8, 0, 7, 0xFF];
+        let sum: Vec<u8> = c1.iter().zip(&c2).map(|(&a, &b)| a ^ b).collect();
+        let b1 = encoder.encode_with_coefficients(c1).unwrap();
+        let b2 = encoder.encode_with_coefficients(c2).unwrap();
+        let bs = encoder.encode_with_coefficients(sum).unwrap();
+        for byte in 0..config.block_size() {
+            assert_eq!(b1.payload()[byte] ^ b2.payload()[byte], bs.payload()[byte]);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Error types for the RLNC crate.
+
+use core::fmt;
+
+/// Errors returned by coding operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A [`crate::CodingConfig`] parameter was invalid (zero blocks, zero
+    /// block size, or more blocks than GF(2^8) can index distinctly in a
+    /// systematic phase).
+    InvalidConfig {
+        /// Human-readable description of the offending parameter.
+        reason: &'static str,
+    },
+    /// The provided data length does not match the configuration.
+    SizeMismatch {
+        /// Bytes expected from the configuration.
+        expected: usize,
+        /// Bytes actually provided.
+        actual: usize,
+    },
+    /// A coded block's coefficient count does not match the generation size.
+    CoefficientCountMismatch {
+        /// Coefficients expected (`n`).
+        expected: usize,
+        /// Coefficients found on the block.
+        actual: usize,
+    },
+    /// Decoding was attempted before `n` linearly independent blocks were
+    /// available.
+    RankDeficient {
+        /// Current rank of the decoding matrix.
+        rank: usize,
+        /// Required rank (`n`).
+        needed: usize,
+    },
+    /// The coefficient matrix is singular and cannot be inverted.
+    SingularMatrix,
+    /// A matrix operation received dimensionally incompatible operands.
+    DimensionMismatch {
+        /// Description of the operation.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig { reason } => {
+                write!(f, "invalid coding configuration: {reason}")
+            }
+            Error::SizeMismatch { expected, actual } => {
+                write!(f, "data size mismatch: expected {expected} bytes, got {actual}")
+            }
+            Error::CoefficientCountMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "coefficient count mismatch: expected {expected}, got {actual}"
+                )
+            }
+            Error::RankDeficient { rank, needed } => {
+                write!(f, "rank deficient: have {rank} of {needed} independent blocks")
+            }
+            Error::SingularMatrix => write!(f, "coefficient matrix is singular"),
+            Error::DimensionMismatch { op } => {
+                write!(f, "dimension mismatch in {op}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errors = [
+            Error::InvalidConfig { reason: "zero blocks" },
+            Error::SizeMismatch { expected: 4, actual: 5 },
+            Error::CoefficientCountMismatch { expected: 8, actual: 9 },
+            Error::RankDeficient { rank: 3, needed: 8 },
+            Error::SingularMatrix,
+            Error::DimensionMismatch { op: "matmul" },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,81 @@
+//! Price/performance: the paper's economic argument.
+//!
+//! "an extra GTX 280 GPU, priced around US$300 at the time of this writing,
+//! leads to not only a much cleaner solution relieving CPU from heavy
+//! computation, but also a much better price/performance ratio" (Sec.
+//! 5.4.1). This module quantifies that claim with 2008/2009 list prices.
+
+/// A priced coding platform.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PricedPlatform {
+    /// Marketing name.
+    pub name: String,
+    /// Hardware price in 2009 US dollars.
+    pub price_usd: f64,
+    /// Sustained coded-output bandwidth in bytes/second.
+    pub coding_rate: f64,
+}
+
+impl PricedPlatform {
+    /// The GTX 280 at the paper's quoted US$300, at a given coding rate.
+    pub fn gtx280(coding_rate: f64) -> PricedPlatform {
+        PricedPlatform { name: "GeForce GTX 280".to_string(), price_usd: 300.0, coding_rate }
+    }
+
+    /// The 8-core Mac Pro; the early-2008 dual-2.8 GHz configuration listed
+    /// at US$2,799.
+    pub fn mac_pro(coding_rate: f64) -> PricedPlatform {
+        PricedPlatform { name: "8-core Mac Pro".to_string(), price_usd: 2799.0, coding_rate }
+    }
+
+    /// Bytes/second of coding per dollar.
+    pub fn rate_per_dollar(&self) -> f64 {
+        self.coding_rate / self.price_usd
+    }
+
+    /// Dollars per peer served at `per_peer_bytes_per_s` of coded demand
+    /// (computational capacity only).
+    pub fn dollars_per_peer(&self, per_peer_bytes_per_s: f64) -> f64 {
+        self.price_usd / (self.coding_rate / per_peer_bytes_per_s)
+    }
+}
+
+/// The paper's comparison: how many times better the GPU's
+/// price/performance is.
+pub fn price_performance_ratio(gpu: &PricedPlatform, cpu: &PricedPlatform) -> f64 {
+    gpu.rate_per_dollar() / cpu.rate_per_dollar()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CpuModel, EncodeStrategy};
+
+    #[test]
+    fn gpu_price_performance_is_far_superior() {
+        // Sec. 2: "for network coding applications, the price/performance
+        // ratio of GPUs is far superior to multi-core servers." At the
+        // paper's rates: (294/300) vs (67/2799) ≈ 41×.
+        let cpu_rate = CpuModel::mac_pro_8core().encode_rate(128, 4096, EncodeStrategy::FullBlock);
+        let gpu = PricedPlatform::gtx280(294.0 * 1024.0 * 1024.0);
+        let cpu = PricedPlatform::mac_pro(cpu_rate);
+        let ratio = price_performance_ratio(&gpu, &cpu);
+        assert!(ratio > 20.0, "expected far-superior price/performance, got {ratio:.1}x");
+    }
+
+    #[test]
+    fn dollars_per_peer() {
+        // 294 MB/s at 96 kB/s per peer ≈ 3211 peers on a $300 card.
+        let gpu = PricedPlatform::gtx280(294.0e6);
+        let per_peer = 96_000.0;
+        let dollars = gpu.dollars_per_peer(per_peer);
+        assert!(dollars < 0.10, "less than a dime per peer: {dollars:.3}");
+    }
+
+    #[test]
+    fn rate_per_dollar_scales_linearly() {
+        let a = PricedPlatform::gtx280(100.0);
+        let b = PricedPlatform::gtx280(200.0);
+        assert!((b.rate_per_dollar() / a.rate_per_dollar() - 2.0).abs() < 1e-12);
+    }
+}

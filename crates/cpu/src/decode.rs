@@ -1,0 +1,146 @@
+//! Thread-parallel multi-segment decoding (the CPU side of Sec. 5.2).
+//!
+//! "For our 8-core Mac Pro system, we operate on 8 segments in parallel at
+//! a time, with each segment being processed by a CPU thread." Each thread
+//! runs the ordinary progressive Gauss-Jordan decoder of `nc-rlnc` to
+//! completion on its own segment — no cross-thread synchronization at all,
+//! which is why multi-segment decoding is also the better CPU scheme.
+
+use nc_rlnc::{CodedBlock, CodingConfig, Decoder, Error};
+
+/// Decodes batches of segments, one worker thread per segment at a time.
+#[derive(Debug)]
+pub struct ParallelSegmentDecoder {
+    config: CodingConfig,
+    threads: usize,
+}
+
+impl ParallelSegmentDecoder {
+    /// Creates a decoder running at most `threads` segments concurrently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(config: CodingConfig, threads: usize) -> ParallelSegmentDecoder {
+        assert!(threads > 0, "at least one thread required");
+        ParallelSegmentDecoder { config, threads }
+    }
+
+    /// The coding configuration.
+    pub fn config(&self) -> CodingConfig {
+        self.config
+    }
+
+    /// Decodes every segment; `segments[i]` supplies the coded blocks of
+    /// segment `i` (at least `n` innovative ones).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first segment's [`Error::RankDeficient`] if its blocks
+    /// do not reach full rank, or any shape error.
+    pub fn decode_segments(
+        &self,
+        segments: &[Vec<CodedBlock>],
+    ) -> Result<Vec<Vec<u8>>, Error> {
+        let mut results: Vec<Result<Vec<u8>, Error>> =
+            (0..segments.len()).map(|_| Err(Error::SingularMatrix)).collect();
+
+        crossbeam::scope(|scope| {
+            // Work queue: chunks of segments round-robined over the pool.
+            for (chunk_blocks, chunk_results) in segments
+                .chunks(self.threads.max(1))
+                .zip(results.chunks_mut(self.threads.max(1)))
+            {
+                // Within one wave, each segment gets its own thread.
+                let mut handles = Vec::new();
+                for blocks in chunk_blocks {
+                    let config = self.config;
+                    handles.push(scope.spawn(move |_| {
+                        let mut decoder = Decoder::new(config);
+                        for b in blocks {
+                            if decoder.is_complete() {
+                                break;
+                            }
+                            decoder.push(b.clone())?;
+                        }
+                        decoder.try_recover()
+                    }));
+                }
+                for (handle, slot) in handles.into_iter().zip(chunk_results.iter_mut()) {
+                    *slot = handle.join().expect("decoder thread panicked");
+                }
+            }
+        })
+        .expect("decode scope failed");
+
+        results.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_rlnc::{Encoder, Segment};
+    use rand::{Rng, SeedableRng};
+
+    fn segment_with_blocks(
+        config: CodingConfig,
+        seed: u64,
+        extra: usize,
+    ) -> (Vec<u8>, Vec<CodedBlock>) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let data: Vec<u8> = (0..config.segment_bytes()).map(|_| rng.gen()).collect();
+        let enc = Encoder::new(Segment::from_bytes(config, data.clone()).unwrap());
+        let blocks = enc.encode_batch(&mut rng, config.blocks() + extra);
+        (data, blocks)
+    }
+
+    #[test]
+    fn decodes_eight_segments_in_parallel() {
+        let config = CodingConfig::new(8, 64).unwrap();
+        let mut datas = Vec::new();
+        let mut inputs = Vec::new();
+        for s in 0..8 {
+            let (data, blocks) = segment_with_blocks(config, 40 + s, 4);
+            datas.push(data);
+            inputs.push(blocks);
+        }
+        let dec = ParallelSegmentDecoder::new(config, 8);
+        let out = dec.decode_segments(&inputs).unwrap();
+        assert_eq!(out, datas);
+    }
+
+    #[test]
+    fn more_segments_than_threads() {
+        let config = CodingConfig::new(4, 16).unwrap();
+        let mut datas = Vec::new();
+        let mut inputs = Vec::new();
+        for s in 0..10 {
+            let (data, blocks) = segment_with_blocks(config, 60 + s, 4);
+            datas.push(data);
+            inputs.push(blocks);
+        }
+        let dec = ParallelSegmentDecoder::new(config, 3);
+        let out = dec.decode_segments(&inputs).unwrap();
+        assert_eq!(out, datas);
+    }
+
+    #[test]
+    fn rank_deficiency_is_reported() {
+        let config = CodingConfig::new(4, 16).unwrap();
+        let (_, blocks) = segment_with_blocks(config, 70, 4);
+        let starved = blocks[..2].to_vec(); // not enough for rank 4
+        let dec = ParallelSegmentDecoder::new(config, 2);
+        assert!(matches!(
+            dec.decode_segments(&[starved]),
+            Err(Error::RankDeficient { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_decodes_to_nothing() {
+        let config = CodingConfig::new(4, 16).unwrap();
+        let dec = ParallelSegmentDecoder::new(config, 2);
+        assert_eq!(dec.decode_segments(&[]).unwrap(), Vec::<Vec<u8>>::new());
+    }
+}

@@ -1,0 +1,464 @@
+//! The host-side GPU handle: allocation, transfers, kernel launches.
+
+use crate::ctx::BlockCtx;
+use crate::device::DeviceSpec;
+use crate::mem::{DeviceBuffer, GlobalMemory};
+use crate::stats::{ExecCounters, LaunchStats};
+use crate::texture::TexCache;
+use crate::timing;
+
+/// A kernel: code executed once per thread block of a launch.
+///
+/// Kernel code is warp-vectorized (see [`BlockCtx`]); blocks must be
+/// mutually independent, as on real hardware, because the simulator may
+/// execute them in any order. (They are currently run in grid order, but
+/// relying on that is a kernel bug.)
+pub trait Kernel {
+    /// Executes one thread block.
+    fn run_block(&self, ctx: &mut BlockCtx<'_>);
+}
+
+/// Launch geometry: the `<<<grid, block, shared>>>` triple of CUDA.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct GridConfig {
+    /// Thread blocks in the grid.
+    pub blocks: usize,
+    /// Threads per block.
+    pub threads_per_block: usize,
+    /// Dynamic shared memory per block, in bytes.
+    pub shared_bytes: usize,
+}
+
+/// Timing of one host↔device transfer over PCIe.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct TransferStats {
+    /// Bytes moved.
+    pub bytes: usize,
+    /// Modeled transfer seconds (latency + bytes / bandwidth).
+    pub seconds: f64,
+}
+
+/// A simulated GPU: device memory plus the launch machinery.
+///
+/// ```
+/// use nc_gpu_sim::{Gpu, DeviceSpec, GridConfig, Kernel, BlockCtx};
+///
+/// /// Doubles every 32-bit word of a buffer.
+/// struct DoubleKernel { buf: nc_gpu_sim::DeviceBuffer, words: usize }
+///
+/// impl Kernel for DoubleKernel {
+///     fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+///         let lanes = ctx.block_threads;
+///         let base = self.buf;
+///         let mut addrs = Vec::new();
+///         let mut vals = vec![0u32; 32];
+///         for warp in 0..ctx.warps() {
+///             addrs.clear();
+///             for lane in 0..ctx.lanes_in_warp(warp) {
+///                 let idx = ctx.block_idx * lanes + warp * 32 + lane;
+///                 if idx < self.words {
+///                     addrs.push(base.addr(idx * 4));
+///                 }
+///             }
+///             if addrs.is_empty() { continue; }
+///             let n = addrs.len();
+///             ctx.ld_global_u32(&addrs, &mut vals[..n]);
+///             for v in &mut vals[..n] { *v = v.wrapping_mul(2); }
+///             ctx.alu(1);
+///             ctx.st_global_u32(&addrs, &vals[..n]);
+///         }
+///     }
+/// }
+///
+/// let mut gpu = Gpu::new(DeviceSpec::gtx280());
+/// let buf = gpu.alloc(1024 * 4);
+/// let host: Vec<u8> = (0..1024u32).flat_map(|i| i.to_le_bytes()).collect();
+/// gpu.upload(buf, &host);
+/// let stats = gpu.launch(
+///     &DoubleKernel { buf, words: 1024 },
+///     GridConfig { blocks: 4, threads_per_block: 256, shared_bytes: 0 },
+/// );
+/// assert!(stats.elapsed_s > 0.0);
+/// let (out, _) = gpu.download(buf);
+/// assert_eq!(&out[4..8], &2u32.to_le_bytes());
+/// ```
+pub struct Gpu {
+    spec: DeviceSpec,
+    mem: GlobalMemory,
+    tex_caches: Vec<TexCache>,
+}
+
+impl Gpu {
+    /// Creates a GPU with the given specification.
+    pub fn new(spec: DeviceSpec) -> Gpu {
+        let tex_caches = (0..spec.sm_count)
+            .map(|_| TexCache::new(spec.tex_cache_bytes, spec.tex_line_bytes))
+            .collect();
+        Gpu { mem: GlobalMemory::new(spec.device_mem_bytes), tex_caches, spec }
+    }
+
+    /// The device specification.
+    #[inline]
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Allocates `len` bytes of device memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics when device memory is exhausted.
+    pub fn alloc(&mut self, len: usize) -> DeviceBuffer {
+        self.mem.alloc(len)
+    }
+
+    /// Frees all device allocations.
+    pub fn reset(&mut self) {
+        self.mem.reset();
+        for cache in &mut self.tex_caches {
+            cache.invalidate();
+        }
+    }
+
+    /// Copies host data into a device buffer, returning the modeled PCIe
+    /// transfer time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` does not fit the buffer exactly.
+    pub fn upload(&mut self, buf: DeviceBuffer, data: &[u8]) -> TransferStats {
+        assert_eq!(data.len(), buf.len(), "upload size mismatch");
+        self.mem.slice_mut(buf).copy_from_slice(data);
+        self.transfer_stats(data.len())
+    }
+
+    /// Copies a device buffer back to the host.
+    pub fn download(&self, buf: DeviceBuffer) -> (Vec<u8>, TransferStats) {
+        (self.mem.slice(buf).to_vec(), self.transfer_stats(buf.len()))
+    }
+
+    /// Zero-cost host-side peek at device memory (debugging/verification;
+    /// does not model a transfer).
+    pub fn peek(&self, buf: DeviceBuffer) -> &[u8] {
+        self.mem.slice(buf)
+    }
+
+    /// Zero-cost host-side write into device memory (test setup).
+    pub fn poke(&mut self, buf: DeviceBuffer, data: &[u8]) {
+        assert_eq!(data.len(), buf.len(), "poke size mismatch");
+        self.mem.slice_mut(buf).copy_from_slice(data);
+    }
+
+    /// Launches `kernel` over `grid`, executing every block functionally
+    /// and returning modeled timing.
+    ///
+    /// Blocks are distributed round-robin over SMs, as the hardware's block
+    /// scheduler does for uniform workloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is empty or a block exceeds device limits.
+    pub fn launch<K: Kernel>(&mut self, kernel: &K, grid: GridConfig) -> LaunchStats {
+        assert!(grid.blocks > 0, "empty grid");
+        // Occupancy capacity, capped by how many blocks the grid actually
+        // supplies per SM — a 30-block grid on 30 SMs keeps one resident
+        // block each no matter the theoretical capacity. (This cap is what
+        // lets the paper's two-inversions-per-SM decoding hide latency
+        // better than one-per-SM.)
+        let resident = timing::occupancy(&self.spec, grid.threads_per_block, grid.shared_bytes)
+            .min(grid.blocks.div_ceil(self.spec.sm_count));
+
+        // Texture caches persist across blocks of one launch but start cold:
+        // shared memory (and thus any table a prior launch cached) is not
+        // persistent across launches, and neither is cache residency
+        // guaranteed, so we model the conservative cold start.
+        for cache in &mut self.tex_caches {
+            cache.invalidate();
+        }
+
+        let mut per_sm = vec![ExecCounters::default(); self.spec.sm_count];
+        for block_idx in 0..grid.blocks {
+            let sm = block_idx % self.spec.sm_count;
+            let mut ctx = BlockCtx::new(
+                block_idx,
+                grid.blocks,
+                grid.threads_per_block,
+                grid.shared_bytes,
+                &self.spec,
+                &mut self.mem,
+                &mut self.tex_caches[sm],
+            );
+            kernel.run_block(&mut ctx);
+            per_sm[sm].merge(&ctx.into_counters());
+        }
+
+        timing::model_launch(&self.spec, &per_sm, grid.blocks, grid.threads_per_block, resident)
+    }
+
+    /// Launches `kernel` over `grid`, but *functionally executes only a
+    /// deterministic subset* of at most `max_blocks_executed` blocks and
+    /// scales the counters up to the full grid.
+    ///
+    /// This is a measurement accelerator for **uniform** grids (every block
+    /// performs statistically identical work, as all the network-coding
+    /// kernels do): the modeled timing converges to [`Gpu::launch`]'s while
+    /// the host-side simulation cost stays bounded. Device memory is only
+    /// partially written, so the functional output must not be consumed —
+    /// use [`Gpu::launch`] when results matter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is empty, a block exceeds device limits, or
+    /// `max_blocks_executed` is zero.
+    pub fn launch_sampled<K: Kernel>(
+        &mut self,
+        kernel: &K,
+        grid: GridConfig,
+        max_blocks_executed: usize,
+    ) -> LaunchStats {
+        assert!(grid.blocks > 0, "empty grid");
+        assert!(max_blocks_executed > 0, "must execute at least one block");
+        if grid.blocks <= max_blocks_executed {
+            return self.launch(kernel, grid);
+        }
+        let resident = timing::occupancy(&self.spec, grid.threads_per_block, grid.shared_bytes)
+            .min(grid.blocks.div_ceil(self.spec.sm_count));
+        for cache in &mut self.tex_caches {
+            cache.invalidate();
+        }
+
+        // Execute an evenly spaced subset and pool the counters.
+        let stride = grid.blocks.div_ceil(max_blocks_executed);
+        let mut pooled = ExecCounters::default();
+        let mut executed = 0usize;
+        for block_idx in (0..grid.blocks).step_by(stride) {
+            let sm = block_idx % self.spec.sm_count;
+            let mut ctx = BlockCtx::new(
+                block_idx,
+                grid.blocks,
+                grid.threads_per_block,
+                grid.shared_bytes,
+                &self.spec,
+                &mut self.mem,
+                &mut self.tex_caches[sm],
+            );
+            kernel.run_block(&mut ctx);
+            pooled.merge(&ctx.into_counters());
+            executed += 1;
+        }
+
+        // Scale to the full grid and spread evenly over SMs, mirroring the
+        // round-robin distribution of a uniform launch.
+        let scale = grid.blocks as f64 / executed as f64;
+        let scale_u64 = |v: u64| (v as f64 * scale) as u64;
+        let total = ExecCounters {
+            warp_instructions: scale_u64(pooled.warp_instructions),
+            gmem_transactions: scale_u64(pooled.gmem_transactions),
+            gmem_bytes: scale_u64(pooled.gmem_bytes),
+            gmem_ops: scale_u64(pooled.gmem_ops),
+            smem_ops: scale_u64(pooled.smem_ops),
+            smem_conflict_cycles: scale_u64(pooled.smem_conflict_cycles),
+            tex_hits: scale_u64(pooled.tex_hits),
+            tex_misses: pooled.tex_misses, // cold misses do not scale with grid
+            syncs: scale_u64(pooled.syncs),
+            shared_atomics: scale_u64(pooled.shared_atomics),
+        };
+        let per_sm: Vec<ExecCounters> = (0..self.spec.sm_count)
+            .map(|_| {
+                let f = 1.0 / self.spec.sm_count as f64;
+                ExecCounters {
+                    warp_instructions: (total.warp_instructions as f64 * f) as u64,
+                    gmem_transactions: (total.gmem_transactions as f64 * f) as u64,
+                    gmem_bytes: (total.gmem_bytes as f64 * f) as u64,
+                    gmem_ops: (total.gmem_ops as f64 * f) as u64,
+                    smem_ops: (total.smem_ops as f64 * f) as u64,
+                    smem_conflict_cycles: (total.smem_conflict_cycles as f64 * f) as u64,
+                    tex_hits: (total.tex_hits as f64 * f) as u64,
+                    tex_misses: (total.tex_misses as f64 * f) as u64,
+                    syncs: (total.syncs as f64 * f) as u64,
+                    shared_atomics: (total.shared_atomics as f64 * f) as u64,
+                }
+            })
+            .collect();
+        timing::model_launch(&self.spec, &per_sm, grid.blocks, grid.threads_per_block, resident)
+    }
+
+    fn transfer_stats(&self, bytes: usize) -> TransferStats {
+        TransferStats {
+            bytes,
+            seconds: self.spec.pcie_latency_s + bytes as f64 / self.spec.pcie_bandwidth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Kernel that XORs two buffers into a third, one word per thread.
+    struct XorKernel {
+        a: DeviceBuffer,
+        b: DeviceBuffer,
+        out: DeviceBuffer,
+        words: usize,
+    }
+
+    impl Kernel for XorKernel {
+        fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+            let block_threads = ctx.block_threads;
+            for warp in 0..ctx.warps() {
+                let mut addrs_a = Vec::new();
+                let mut addrs_b = Vec::new();
+                let mut addrs_o = Vec::new();
+                for lane in 0..ctx.lanes_in_warp(warp) {
+                    let idx = ctx.block_idx * block_threads + warp * 32 + lane;
+                    if idx < self.words {
+                        addrs_a.push(self.a.addr(idx * 4));
+                        addrs_b.push(self.b.addr(idx * 4));
+                        addrs_o.push(self.out.addr(idx * 4));
+                    }
+                }
+                if addrs_a.is_empty() {
+                    continue;
+                }
+                let n = addrs_a.len();
+                let mut va = vec![0u32; n];
+                let mut vb = vec![0u32; n];
+                ctx.ld_global_u32(&addrs_a, &mut va);
+                ctx.ld_global_u32(&addrs_b, &mut vb);
+                for (x, y) in va.iter_mut().zip(&vb) {
+                    *x ^= *y;
+                }
+                ctx.alu(1);
+                ctx.st_global_u32(&addrs_o, &va);
+            }
+        }
+    }
+
+    #[test]
+    fn xor_kernel_is_functionally_correct() {
+        let mut gpu = Gpu::new(DeviceSpec::gtx280());
+        let words = 1000usize;
+        let a = gpu.alloc(words * 4);
+        let b = gpu.alloc(words * 4);
+        let out = gpu.alloc(words * 4);
+        let ha: Vec<u8> = (0..words as u32).flat_map(|i| i.to_le_bytes()).collect();
+        let hb: Vec<u8> = (0..words as u32).flat_map(|i| (i * 7).to_le_bytes()).collect();
+        gpu.upload(a, &ha);
+        gpu.upload(b, &hb);
+        let stats = gpu.launch(
+            &XorKernel { a, b, out, words },
+            GridConfig { blocks: 8, threads_per_block: 128, shared_bytes: 0 },
+        );
+        let (result, _) = gpu.download(out);
+        for i in 0..words {
+            let x = u32::from_le_bytes(result[i * 4..i * 4 + 4].try_into().unwrap());
+            assert_eq!(x, (i as u32) ^ (i as u32 * 7));
+        }
+        assert!(stats.elapsed_s > 0.0);
+        assert!(stats.counters.gmem_transactions > 0);
+    }
+
+    #[test]
+    fn coalesced_kernel_moves_expected_bytes() {
+        let mut gpu = Gpu::new(DeviceSpec::gtx280());
+        let words = 1024usize;
+        let a = gpu.alloc(words * 4);
+        let b = gpu.alloc(words * 4);
+        let out = gpu.alloc(words * 4);
+        let stats = gpu.launch(
+            &XorKernel { a, b, out, words },
+            GridConfig { blocks: 4, threads_per_block: 256, shared_bytes: 0 },
+        );
+        // 3 fully coalesced streams of 4 KiB each = 12 KiB at transaction
+        // granularity.
+        assert_eq!(stats.counters.gmem_bytes, 3 * words as u64 * 4);
+    }
+
+    #[test]
+    fn slower_clock_means_longer_launch() {
+        let run = |spec: DeviceSpec| {
+            let mut gpu = Gpu::new(spec);
+            let words = 4096usize;
+            let a = gpu.alloc(words * 4);
+            let b = gpu.alloc(words * 4);
+            let out = gpu.alloc(words * 4);
+            gpu.launch(
+                &XorKernel { a, b, out, words },
+                GridConfig { blocks: 64, threads_per_block: 256, shared_bytes: 0 },
+            )
+            .elapsed_s
+        };
+        let fast = run(DeviceSpec::gtx280());
+        let slow = run(DeviceSpec::geforce_8800gt());
+        assert!(slow > fast, "8800 GT ({slow}) should be slower than GTX 280 ({fast})");
+    }
+
+    #[test]
+    fn transfers_model_pcie() {
+        let mut gpu = Gpu::new(DeviceSpec::gtx280());
+        let buf = gpu.alloc(1 << 20);
+        let stats = gpu.upload(buf, &vec![0u8; 1 << 20]);
+        let expected = gpu.spec().pcie_latency_s + (1u64 << 20) as f64 / gpu.spec().pcie_bandwidth;
+        assert!((stats.seconds - expected).abs() < 1e-12);
+        let (_, down) = gpu.download(buf);
+        assert_eq!(down.bytes, 1 << 20);
+    }
+
+    #[test]
+    fn sampled_launch_approximates_full_launch() {
+        let words = 65536usize;
+        let mk = |gpu: &mut Gpu| {
+            let a = gpu.alloc(words * 4);
+            let b = gpu.alloc(words * 4);
+            let out = gpu.alloc(words * 4);
+            XorKernel { a, b, out, words }
+        };
+        let grid = GridConfig { blocks: 256, threads_per_block: 256, shared_bytes: 0 };
+
+        let mut gpu_full = Gpu::new(DeviceSpec::gtx280());
+        let k_full = mk(&mut gpu_full);
+        let full = gpu_full.launch(&k_full, grid);
+
+        let mut gpu_sampled = Gpu::new(DeviceSpec::gtx280());
+        let k_sampled = mk(&mut gpu_sampled);
+        let sampled = gpu_sampled.launch_sampled(&k_sampled, grid, 16);
+
+        let rel = (sampled.elapsed_s - full.elapsed_s).abs() / full.elapsed_s;
+        assert!(rel < 0.05, "sampled launch off by {rel}");
+        let instr_rel = (sampled.counters.warp_instructions as f64
+            - full.counters.warp_instructions as f64)
+            .abs()
+            / full.counters.warp_instructions as f64;
+        assert!(instr_rel < 0.05, "instruction scaling off by {instr_rel}");
+    }
+
+    #[test]
+    fn sampled_launch_with_small_grid_is_exact() {
+        let mut gpu = Gpu::new(DeviceSpec::gtx280());
+        let words = 1024usize;
+        let a = gpu.alloc(words * 4);
+        let b = gpu.alloc(words * 4);
+        let out = gpu.alloc(words * 4);
+        let kern = XorKernel { a, b, out, words };
+        let grid = GridConfig { blocks: 4, threads_per_block: 256, shared_bytes: 0 };
+        let sampled = gpu.launch_sampled(&kern, grid, 16);
+        let mut gpu2 = Gpu::new(DeviceSpec::gtx280());
+        let a2 = gpu2.alloc(words * 4);
+        let b2 = gpu2.alloc(words * 4);
+        let out2 = gpu2.alloc(words * 4);
+        let full = gpu2.launch(&XorKernel { a: a2, b: b2, out: out2, words }, grid);
+        assert_eq!(sampled.counters, full.counters);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_grid_is_rejected() {
+        let mut gpu = Gpu::new(DeviceSpec::gtx280());
+        let buf = gpu.alloc(4);
+        let _ = gpu.launch(
+            &XorKernel { a: buf, b: buf, out: buf, words: 0 },
+            GridConfig { blocks: 0, threads_per_block: 32, shared_bytes: 0 },
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! Ablation studies of the design choices behind the paper's kernels.
+//!
+//! DESIGN.md §5 lists the choices worth isolating; this module packages
+//! them as measurable experiments:
+//!
+//! * [`coalescing_ablation`] — the Fig. 2 partitioning depends on row-major
+//!   source storage; a column-major layout decomposes every warp load into
+//!   16 transactions and exposes the latency the broadcast/coalescing
+//!   design hides.
+//! * [`replica_ablation`] — Table-based-5's eight exp-table replicas exist
+//!   purely to dodge shared-memory bank conflicts; sweeping 1→8 replicas
+//!   shows the conflict cycles draining away.
+//! * [`stage2_ablation`] — the Sec. 5.2 recovery multiplication run
+//!   loop-based vs table-based.
+//! * [`latency_sensitivity`] — how strongly the starved single-segment
+//!   decoder depends on DRAM latency (it is the latency-exposure victim of
+//!   the whole paper).
+
+use nc_gpu_sim::{DeviceSpec, Gpu, LaunchStats};
+use nc_rlnc::CodingConfig;
+use rand::{Rng, SeedableRng};
+
+use crate::api::{Fidelity, GpuMultiDecoder, Stage2Scheme};
+use crate::decode_single::DecodeOptions;
+use crate::encode_loop::{LoopEncodeKernel, SourceLayout};
+use crate::encode_table::{TableEncodeKernel, TableVariant, TB5_REPLICAS};
+use crate::preprocess::{log_table_bytes, LogConvention};
+
+/// Outcome of one ablation point.
+#[derive(Clone, Debug)]
+pub struct AblationPoint {
+    /// Human-readable setting (e.g. `"row-major"`, `"4 replicas"`).
+    pub setting: String,
+    /// Coded/decoded bandwidth in bytes/second.
+    pub rate: f64,
+    /// Launch statistics backing the number.
+    pub launch: LaunchStats,
+}
+
+/// Measures loop-based encoding with row-major vs column-major source
+/// layout at `(n, k)` on the GTX 280.
+pub fn coalescing_ablation(n: usize, k: usize) -> Vec<AblationPoint> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let m = 8 * n.max(61440 / k);
+    let m_exec = m.min((16 * 1024 / (k / 4)).max(1));
+    let data: Vec<u8> = (0..n * k).map(|_| rng.gen()).collect();
+    let coeffs_host: Vec<u8> = (0..m_exec * n).map(|_| rng.gen_range(1..=255)).collect();
+
+    [SourceLayout::RowMajor, SourceLayout::ColumnMajor]
+        .into_iter()
+        .map(|layout| {
+            let mut gpu = Gpu::new(DeviceSpec::gtx280());
+            let source = gpu.alloc(n * k);
+            let coeffs = gpu.alloc(m_exec * n);
+            let output = gpu.alloc(m_exec * k);
+            gpu.poke(source, &layout.arrange(&data, n, k));
+            gpu.poke(coeffs, &coeffs_host);
+            let kernel = LoopEncodeKernel {
+                source,
+                coeffs,
+                output,
+                n,
+                k,
+                m: m_exec,
+                dummy_input: false,
+                layout,
+            };
+            let launch = gpu.launch_sampled(&kernel, kernel.grid(), 32);
+            let rate = (m_exec * k) as f64 / launch.elapsed_s;
+            AblationPoint { setting: format!("{layout:?}"), rate, launch }
+        })
+        .collect()
+}
+
+/// Measures Table-based-5 encoding with 1, 2, 4 and 8 exp-table replicas
+/// at `(n, k)` on the GTX 280.
+pub fn replica_ablation(n: usize, k: usize) -> Vec<AblationPoint> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+    let m_exec = (16 * 1024 / (k / 4)).clamp(1, n);
+    let data: Vec<u8> = (0..n * k).map(|_| rng.gen()).collect();
+    let coeffs_host: Vec<u8> = (0..m_exec * n).map(|_| rng.gen_range(1..=255)).collect();
+    let log_table = log_table_bytes(LogConvention::Remapped);
+    let to_log = |buf: &[u8]| -> Vec<u8> { buf.iter().map(|&b| log_table[b as usize]).collect() };
+
+    [1usize, 2, 4, TB5_REPLICAS]
+        .into_iter()
+        .map(|replicas| {
+            let mut gpu = Gpu::new(DeviceSpec::gtx280());
+            let variant = TableVariant::Tb5;
+            let source = gpu.alloc(n * k);
+            let coeffs = gpu.alloc(m_exec * n);
+            let output = gpu.alloc(m_exec * k);
+            let table_bytes = variant.table_bytes();
+            let tables = gpu.alloc(table_bytes.len());
+            gpu.poke(source, &to_log(&data));
+            gpu.poke(coeffs, &to_log(&coeffs_host));
+            gpu.poke(tables, &table_bytes);
+            let kernel = TableEncodeKernel {
+                variant,
+                source,
+                coeffs,
+                output,
+                tables,
+                n,
+                k,
+                m: m_exec,
+                sm_blocks: gpu.spec().sm_count,
+                tb5_replicas: replicas,
+            };
+            let launch = gpu.launch(&kernel, kernel.grid());
+            let rate = (m_exec * k) as f64 / launch.elapsed_s;
+            AblationPoint { setting: format!("{replicas} replica(s)"), rate, launch }
+        })
+        .collect()
+}
+
+/// Multi-segment decoding with loop-based vs table-based stage 2
+/// (Sec. 5.2's "regular multiplication ... similar to the encoding
+/// process", which only reaches the paper's 254 MB/s with the optimized
+/// table scheme).
+pub fn stage2_ablation(n: usize, k: usize, segments: usize) -> Vec<(String, f64, f64)> {
+    let config = CodingConfig::new(n, k).expect("valid config");
+    [Stage2Scheme::LoopBased, Stage2Scheme::TableBased]
+        .into_iter()
+        .map(|scheme| {
+            let mut dec = GpuMultiDecoder::with_stage2(DeviceSpec::gtx280(), scheme);
+            let outcome = dec.measure(config, segments, 13);
+            (format!("{scheme:?}"), outcome.rate, outcome.stage1_share)
+        })
+        .collect()
+}
+
+/// Single-segment decoding rate under varying DRAM latency (cycles) — the
+/// sensitivity study behind the paper's "GPU does not have sufficient
+/// data ... to launch a sufficient number of threads" explanation.
+pub fn latency_sensitivity(n: usize, k: usize) -> Vec<(u64, f64)> {
+    [250u64, 500, 1000]
+        .into_iter()
+        .map(|latency| {
+            let mut spec = DeviceSpec::gtx280();
+            spec.mem_latency_cycles = latency;
+            let config = CodingConfig::new(n, k).expect("valid config");
+            let mut dec = crate::api::GpuProgressiveDecoder::new(
+                spec,
+                config,
+                DecodeOptions::default(),
+                Fidelity::Timing,
+            );
+            let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+            let payload: Vec<u8> = (0..k).map(|_| rng.gen()).collect();
+            let mut coeffs = vec![0u8; n];
+            while !dec.is_complete() {
+                for c in coeffs.iter_mut() {
+                    *c = rng.gen_range(1..=255);
+                }
+                dec.push(&coeffs, &payload);
+            }
+            (latency, (n * k) as f64 / dec.kernel_seconds())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_major_layout_is_much_slower() {
+        let points = coalescing_ablation(32, 1024);
+        let row = &points[0];
+        let col = &points[1];
+        assert!(
+            row.rate > 1.8 * col.rate,
+            "coalescing must matter: {} vs {}",
+            row.rate,
+            col.rate
+        );
+        assert!(
+            col.launch.counters.gmem_transactions > 4 * row.launch.counters.gmem_transactions,
+            "column-major must decompose the loads"
+        );
+    }
+
+    #[test]
+    fn layout_arrange_roundtrips_addressing() {
+        // arrange() must place source[i][w] where addr() will look for it.
+        let (n, k) = (4usize, 16usize);
+        let data: Vec<u8> = (0..n * k).map(|x| x as u8).collect();
+        for layout in [SourceLayout::RowMajor, SourceLayout::ColumnMajor] {
+            let arranged = layout.arrange(&data, n, k);
+            let mut gpu = Gpu::new(DeviceSpec::gtx280());
+            let buf = gpu.alloc(n * k);
+            gpu.poke(buf, &arranged);
+            let base = layout.addr(buf, n, k, 0, 0);
+            for i in 0..n {
+                for w in 0..k / 4 {
+                    let rel = (layout.addr(buf, n, k, i, w) - base) as usize;
+                    let got = &gpu.peek(buf)[rel..rel + 4];
+                    assert_eq!(got, &data[i * k + w * 4..i * k + w * 4 + 4], "{layout:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_replicas_mean_fewer_conflicts() {
+        // Intermediate replica counts restrict each replica to a bank
+        // subset, so the curve need not be strictly monotone — but eight
+        // replicas must clearly beat one, in both conflicts and rate.
+        let points = replica_ablation(128, 1024);
+        let one = &points[0];
+        let eight = points.last().expect("has points");
+        assert!(
+            eight.launch.counters.smem_conflict_cycles
+                < one.launch.counters.smem_conflict_cycles,
+            "replication must reduce conflicts: {} vs {}",
+            one.launch.counters.smem_conflict_cycles,
+            eight.launch.counters.smem_conflict_cycles
+        );
+        assert!(eight.rate > one.rate, "8 replicas must beat 1");
+    }
+
+    #[test]
+    fn table_based_stage2_wins() {
+        let results = stage2_ablation(32, 2048, 8);
+        let loop_rate = results[0].1;
+        let table_rate = results[1].1;
+        assert!(table_rate > loop_rate, "{results:?}");
+    }
+
+    #[test]
+    fn decode_slows_with_memory_latency() {
+        let pts = latency_sensitivity(32, 1024);
+        assert!(pts[0].1 > pts[1].1 && pts[1].1 > pts[2].1, "{pts:?}");
+    }
+}

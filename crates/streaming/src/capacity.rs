@@ -1,0 +1,100 @@
+//! Peer-capacity planning — the arithmetic behind the paper's
+//! 1385 / 1844 / 3000-peer claims.
+
+use nc_rlnc::CodingConfig;
+
+use crate::media::StreamProfile;
+use crate::nic::Nic;
+
+/// The serving capacity of one coding backend + NIC combination.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct CapacityPlan {
+    /// Coded-output bandwidth of the encoder, bytes/second.
+    pub encoding_rate: f64,
+    /// Peers the *computation* can feed.
+    pub compute_peers: usize,
+    /// Peers the *network egress* can feed.
+    pub network_peers: usize,
+    /// Whether computation saturates the NIC (the paper's argument that
+    /// the GPU frees the CPU entirely).
+    pub nic_saturated: bool,
+}
+
+impl CapacityPlan {
+    /// Plans capacity for an encoder of `encoding_rate` bytes/second
+    /// serving `profile` streams over `nic`.
+    ///
+    /// The paper's peer counts (e.g. "133 MB/s … serve up to 1385
+    /// downstream peers") divide the coding bandwidth by the stream rate;
+    /// the deliverable count is additionally capped by egress.
+    pub fn plan(encoding_rate: f64, profile: StreamProfile, nic: Nic) -> CapacityPlan {
+        let per_peer = profile.coded_bytes_per_peer();
+        CapacityPlan {
+            encoding_rate,
+            compute_peers: (encoding_rate / per_peer) as usize,
+            network_peers: nic.peer_capacity(profile.bitrate_bps()),
+            nic_saturated: nic.is_saturated_by(encoding_rate),
+        }
+    }
+
+    /// Peers actually servable: the minimum of compute and network.
+    pub fn servable_peers(&self) -> usize {
+        self.compute_peers.min(self.network_peers)
+    }
+
+    /// Coded blocks that must be generated from every segment to feed
+    /// `peers` (the paper: "serving so many peers in a live video stream
+    /// requires generating at least 177,333 coded blocks from every video
+    /// segment" at 1385 peers × 128 blocks).
+    pub fn blocks_per_segment(peers: usize, config: CodingConfig) -> usize {
+        peers * config.blocks()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> StreamProfile {
+        StreamProfile::high_quality_video()
+    }
+
+    #[test]
+    fn loop_based_rate_serves_1385_peers() {
+        // 133 MB/s at 768 kbps — the Sec. 5.1.1 number (the paper divides
+        // decimal MB by the stream rate: 133e6 · 8 / 768e3 ≈ 1385).
+        let plan = CapacityPlan::plan(133.0e6, profile(), Nic::gigabit_bonded(2));
+        assert_eq!(plan.compute_peers, 1385);
+    }
+
+    #[test]
+    fn tb1_rate_serves_1844_peers() {
+        // Sec. 5.1.3: "now more than 1844 downstream peers can be supported"
+        // at the first optimized table-based rate (~177 decimal MB/s).
+        let plan = CapacityPlan::plan(177.1e6, profile(), Nic::gigabit_bonded(2));
+        assert!(plan.compute_peers >= 1844, "got {}", plan.compute_peers);
+    }
+
+    #[test]
+    fn tb5_rate_serves_3000_peers() {
+        // Sec. 5.1.3 / 6: "more than 3000 downstream peers" at 294 MB/s.
+        let plan = CapacityPlan::plan(294.0e6, profile(), Nic::gigabit_bonded(3));
+        assert!(plan.compute_peers > 3000, "got {}", plan.compute_peers);
+        assert!(plan.nic_saturated || plan.network_peers > 3000);
+    }
+
+    #[test]
+    fn network_caps_the_servable_count() {
+        // One GigE carries only 1302 such streams no matter the encoder.
+        let plan = CapacityPlan::plan(294.0e6, profile(), Nic::gigabit());
+        assert_eq!(plan.servable_peers(), 1302);
+        assert!(plan.nic_saturated);
+    }
+
+    #[test]
+    fn blocks_per_segment_matches_paper() {
+        let config = CodingConfig::new(128, 4096).unwrap();
+        let blocks = CapacityPlan::blocks_per_segment(1385, config);
+        assert_eq!(blocks, 177_280); // the paper rounds to "177,333"
+    }
+}

@@ -1,0 +1,89 @@
+//! Stream profiles and segment timing.
+
+use nc_rlnc::CodingConfig;
+
+/// A media stream's delivery profile.
+///
+/// ```
+/// use nc_streaming::StreamProfile;
+/// use nc_rlnc::CodingConfig;
+///
+/// let profile = StreamProfile::high_quality_video();
+/// let config = CodingConfig::new(128, 4096)?; // 512 KB segments
+/// // The paper: "each segment contains content that lasts 5.33 seconds"
+/// // (5.46 s with binary-KB segment arithmetic).
+/// let secs = profile.segment_duration_s(config);
+/// assert!((secs - 5.46).abs() < 0.02);
+/// # Ok::<(), nc_rlnc::Error>(())
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct StreamProfile {
+    bitrate_bps: f64,
+}
+
+impl StreamProfile {
+    /// A profile with the given bitrate in bits/second.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive bitrate.
+    pub fn new(bitrate_bps: f64) -> StreamProfile {
+        assert!(bitrate_bps > 0.0, "bitrate must be positive");
+        StreamProfile { bitrate_bps }
+    }
+
+    /// The paper's "typical for high quality video streams": 768 kbps.
+    pub fn high_quality_video() -> StreamProfile {
+        StreamProfile::new(768.0 * 1000.0)
+    }
+
+    /// The stream bitrate in bits/second.
+    #[inline]
+    pub fn bitrate_bps(&self) -> f64 {
+        self.bitrate_bps
+    }
+
+    /// Seconds of content carried by one `(n, k)` segment.
+    pub fn segment_duration_s(&self, config: CodingConfig) -> f64 {
+        config.segment_bytes() as f64 * 8.0 / self.bitrate_bps
+    }
+
+    /// The client-side buffering delay before playback can start: one full
+    /// segment must arrive (and decode) first.
+    pub fn buffering_delay_s(&self, config: CodingConfig) -> f64 {
+        self.segment_duration_s(config)
+    }
+
+    /// Bytes/second of *coded* payload a server must generate per peer
+    /// watching this stream (coefficients excluded; they ride in headers).
+    pub fn coded_bytes_per_peer(&self) -> f64 {
+        self.bitrate_bps / 8.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_segment_timing() {
+        let config = CodingConfig::new(128, 4096).unwrap();
+        let p = StreamProfile::high_quality_video();
+        assert!((p.segment_duration_s(config) - 5.46).abs() < 0.2);
+        // 512 KiB × 8 / 768 kbps = 5.46 s with binary KB, 5.33 s with the
+        // paper's decimal arithmetic — "an acceptable buffering delay".
+        assert!(p.buffering_delay_s(config) < 6.0);
+    }
+
+    #[test]
+    fn coded_demand_per_peer() {
+        let p = StreamProfile::high_quality_video();
+        assert!((p.coded_bytes_per_peer() - 96_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bitrate_rejected() {
+        let _ = StreamProfile::new(0.0);
+    }
+}

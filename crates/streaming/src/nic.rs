@@ -1,0 +1,79 @@
+//! Network-interface capacity.
+
+/// A server network interface (or a bonded set of them).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Nic {
+    bandwidth_bps: f64,
+    count: usize,
+}
+
+impl Nic {
+    /// One gigabit Ethernet interface.
+    pub fn gigabit() -> Nic {
+        Nic { bandwidth_bps: 1.0e9, count: 1 }
+    }
+
+    /// `count` bonded gigabit interfaces (the paper: a 294 MB/s encoder
+    /// "can easily saturate two Gigabit Ethernet interfaces").
+    pub fn gigabit_bonded(count: usize) -> Nic {
+        assert!(count > 0, "at least one interface");
+        Nic { bandwidth_bps: 1.0e9, count }
+    }
+
+    /// Aggregate egress bandwidth in bits/second.
+    #[inline]
+    pub fn total_bps(&self) -> f64 {
+        self.bandwidth_bps * self.count as f64
+    }
+
+    /// Aggregate egress bandwidth in bytes/second.
+    #[inline]
+    pub fn total_bytes_per_s(&self) -> f64 {
+        self.total_bps() / 8.0
+    }
+
+    /// How many peers at `per_peer_bps` this egress can carry.
+    pub fn peer_capacity(&self, per_peer_bps: f64) -> usize {
+        assert!(per_peer_bps > 0.0);
+        (self.total_bps() / per_peer_bps) as usize
+    }
+
+    /// Whether a coded-output rate (bytes/second) saturates this egress.
+    pub fn is_saturated_by(&self, coded_bytes_per_s: f64) -> bool {
+        coded_bytes_per_s * 8.0 >= self.total_bps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gigabit_carries_1302_video_peers() {
+        // 1 Gbps / 768 kbps = 1302 peers of pure network capacity.
+        let nic = Nic::gigabit();
+        assert_eq!(nic.peer_capacity(768_000.0), 1302);
+    }
+
+    #[test]
+    fn encoding_at_133_mbs_saturates_one_gige() {
+        // The paper: 133 MB/s "is sufficiently high to saturate a Gigabit
+        // Ethernet interface".
+        let nic = Nic::gigabit();
+        assert!(nic.is_saturated_by(133.0 * 1024.0 * 1024.0));
+    }
+
+    #[test]
+    fn encoding_at_294_mbs_saturates_two_gige() {
+        let nic = Nic::gigabit_bonded(2);
+        assert!(nic.is_saturated_by(294.0 * 1024.0 * 1024.0));
+        let three = Nic::gigabit_bonded(3);
+        assert!(!three.is_saturated_by(294.0 * 1024.0 * 1024.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_interfaces_rejected() {
+        let _ = Nic::gigabit_bonded(0);
+    }
+}
