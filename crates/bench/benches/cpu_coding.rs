@@ -16,9 +16,8 @@ fn encode_partitionings(c: &mut Criterion) {
         let config = CodingConfig::new(n, k).unwrap();
         let data: Vec<u8> = (0..config.segment_bytes()).map(|_| rng.gen()).collect();
         let segment = Segment::from_bytes(config, data).unwrap();
-        let coeffs: Vec<Vec<u8>> = (0..m)
-            .map(|_| (0..n).map(|_| rng.gen_range(1..=255)).collect())
-            .collect();
+        let coeffs: Vec<Vec<u8>> =
+            (0..m).map(|_| (0..n).map(|_| rng.gen_range(1..=255)).collect()).collect();
         group.throughput(Throughput::Bytes((m * k) as u64));
         for (label, partitioning) in [
             ("full_block", Partitioning::FullBlock),
@@ -43,11 +42,8 @@ fn sparse_vs_dense(c: &mut Criterion) {
     let reference = Encoder::new(Segment::from_bytes(config, data).unwrap());
     group.throughput(Throughput::Bytes(1024));
     for density in [1.0f64, 0.5, 0.1] {
-        let coeff_rng = if density >= 1.0 {
-            CoefficientRng::dense()
-        } else {
-            CoefficientRng::sparse(density)
-        };
+        let coeff_rng =
+            if density >= 1.0 { CoefficientRng::dense() } else { CoefficientRng::sparse(density) };
         group.bench_with_input(
             BenchmarkId::new("encode_one_block", format!("{density}")),
             &density,

@@ -1,7 +1,13 @@
 //! Ablation studies of the paper's design choices (DESIGN.md §5).
 //!
-//! Run with `cargo run -p nc-bench --release --bin ablation`.
+//! Run with `cargo run -p nc-bench --release --bin ablation`; add
+//! `--sanitize` for the sanitizer-instrumented ablations (Tb5 replica
+//! conflict evidence, decoder option matrix under racecheck/memcheck).
 
 fn main() {
-    print!("{}", nc_bench::report::ablations());
+    if std::env::args().any(|a| a == "--sanitize") {
+        print!("{}", nc_bench::report::ablation_sanitize());
+    } else {
+        print!("{}", nc_bench::report::ablations());
+    }
 }

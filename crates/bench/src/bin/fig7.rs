@@ -1,7 +1,13 @@
 //! Figure 7: the table-based optimization ladder at n=128.
 //!
-//! Run with `cargo run -p nc-bench --release --bin fig7`.
+//! Run with `cargo run -p nc-bench --release --bin fig7`; add `--sanitize`
+//! to run every rung functionally under the kernel sanitizer and print the
+//! per-rung coalescing/bank-conflict evidence instead of the rates.
 
 fn main() {
-    print!("{}", nc_bench::report::fig7());
+    if std::env::args().any(|a| a == "--sanitize") {
+        print!("{}", nc_bench::report::fig7_sanitize());
+    } else {
+        print!("{}", nc_bench::report::fig7());
+    }
 }

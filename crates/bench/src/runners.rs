@@ -61,12 +61,7 @@ pub fn gpu_decode_single_series(
 
 /// Single-segment GPU decoding bandwidth for one configuration
 /// (synthetic innovative blocks; kernel time only, like the paper).
-pub fn gpu_decode_single_rate(
-    spec: DeviceSpec,
-    n: usize,
-    k: usize,
-    options: DecodeOptions,
-) -> f64 {
+pub fn gpu_decode_single_rate(spec: DeviceSpec, n: usize, k: usize, options: DecodeOptions) -> f64 {
     let config = CodingConfig::new(n, k).expect("valid config");
     let mut dec = GpuProgressiveDecoder::new(spec, config, options, Fidelity::Timing);
     let mut rng = rand::rngs::StdRng::seed_from_u64(9_000 + (n * 31 + k) as u64);
@@ -187,19 +182,13 @@ mod tests {
 
     #[test]
     fn decode_single_rate_is_positive() {
-        let rate = gpu_decode_single_rate(
-            DeviceSpec::gtx280(),
-            16,
-            128,
-            DecodeOptions::default(),
-        );
+        let rate = gpu_decode_single_rate(DeviceSpec::gtx280(), 16, 128, DecodeOptions::default());
         assert!(rate > 0.0);
     }
 
     #[test]
     fn multi_series_reports_shares() {
-        let (rates, shares) =
-            gpu_decode_multi_series(DeviceSpec::gtx280(), 16, 4, &[256], "t");
+        let (rates, shares) = gpu_decode_multi_series(DeviceSpec::gtx280(), 16, 4, &[256], "t");
         assert_eq!(rates.points.len(), 1);
         let share = shares.points[0].1;
         assert!(share > 0.0 && share < 100.0);

@@ -53,11 +53,8 @@ pub fn format_table(title: &str, xlabel: &str, series: &[Series]) -> String {
     out.push_str(&"-".repeat(header.len()));
     out.push('\n');
     for x in xs {
-        let xs_label = if x >= 1024 && x % 1024 == 0 {
-            format!("{}K", x / 1024)
-        } else {
-            format!("{x}")
-        };
+        let xs_label =
+            if x >= 1024 && x % 1024 == 0 { format!("{}K", x / 1024) } else { format!("{x}") };
         out.push_str(&format!("{xs_label:>10}"));
         for s in series {
             match s.at(x) {
@@ -106,8 +103,8 @@ mod tests {
         let mut b = Series::new("B");
         b.push(256, 3.0);
         let t = format_table("t", "k", &[a, b]);
-        let dash_cells = t.matches("  -").count()
-            + t.lines().filter(|l| l.trim_end().ends_with(" -")).count();
+        let dash_cells =
+            t.matches("  -").count() + t.lines().filter(|l| l.trim_end().ends_with(" -")).count();
         assert!(dash_cells >= 2, "each series misses one x: {t}");
     }
 }

@@ -27,10 +27,7 @@ impl CoefficientRng {
     ///
     /// Panics if `density` is not within `(0.0, 1.0]`.
     pub fn sparse(density: f64) -> CoefficientRng {
-        assert!(
-            density > 0.0 && density <= 1.0,
-            "density must be in (0, 1], got {density}"
-        );
+        assert!(density > 0.0 && density <= 1.0, "density must be in (0, 1], got {density}");
         CoefficientRng { density }
     }
 
@@ -48,11 +45,7 @@ impl CoefficientRng {
             }
         } else {
             for c in out.iter_mut() {
-                *c = if rng.gen_bool(self.density) {
-                    rng.gen_range(1..=255)
-                } else {
-                    0
-                };
+                *c = if rng.gen_bool(self.density) { rng.gen_range(1..=255) } else { 0 };
             }
         }
     }

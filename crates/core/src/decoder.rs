@@ -161,10 +161,8 @@ impl Decoder {
     /// [`Error::RankDeficient`] if fewer than `n` independent blocks have
     /// been absorbed.
     pub fn try_recover(&self) -> Result<Vec<u8>, Error> {
-        self.recover().ok_or(Error::RankDeficient {
-            rank: self.rank(),
-            needed: self.config.blocks(),
-        })
+        self.recover()
+            .ok_or(Error::RankDeficient { rank: self.rank(), needed: self.config.blocks() })
     }
 
     /// The partially decoded source blocks currently available: block `i`
@@ -177,10 +175,7 @@ impl Decoder {
             .zip(&self.pivots)
             .filter(|(row, p)| {
                 let p = **p;
-                row[..n]
-                    .iter()
-                    .enumerate()
-                    .all(|(c, &v)| if c == p { v == 1 } else { v == 0 })
+                row[..n].iter().enumerate().all(|(c, &v)| if c == p { v == 1 } else { v == 0 })
             })
             .map(|(row, &p)| (p, &row[n..]))
             .collect()

@@ -54,10 +54,7 @@ impl fmt::Display for Error {
                 write!(f, "data size mismatch: expected {expected} bytes, got {actual}")
             }
             Error::CoefficientCountMismatch { expected, actual } => {
-                write!(
-                    f,
-                    "coefficient count mismatch: expected {expected}, got {actual}"
-                )
+                write!(f, "coefficient count mismatch: expected {expected}, got {actual}")
             }
             Error::RankDeficient { rank, needed } => {
                 write!(f, "rank deficient: have {rank} of {needed} independent blocks")

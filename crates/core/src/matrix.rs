@@ -164,8 +164,7 @@ impl GfMatrix {
                 break;
             }
             // Find a row at or below pivot_row with a non-zero entry in col.
-            let Some(found) =
-                (pivot_row..self.rows).find(|&r| self.data[r * self.cols + col] != 0)
+            let Some(found) = (pivot_row..self.rows).find(|&r| self.data[r * self.cols + col] != 0)
             else {
                 continue;
             };

@@ -128,9 +128,7 @@ mod tests {
             recoder.push(encoder.encode(&mut rng)).unwrap();
         }
         let recoded = recoder.recode(&mut rng).unwrap();
-        let reencoded = encoder
-            .encode_with_coefficients(recoded.coefficients().to_vec())
-            .unwrap();
+        let reencoded = encoder.encode_with_coefficients(recoded.coefficients().to_vec()).unwrap();
         assert_eq!(recoded.payload(), reencoded.payload());
     }
 

@@ -120,12 +120,8 @@ impl TwoStageDecoder {
         // Keep probe rows sorted by leading position (insertion sort step).
         let at = (0..self.rank)
             .find(|&r| {
-                let other_lead = self
-                    .rank_probe
-                    .row(r)
-                    .iter()
-                    .position(|&c| c != 0)
-                    .expect("non-zero");
+                let other_lead =
+                    self.rank_probe.row(r).iter().position(|&c| c != 0).expect("non-zero");
                 other_lead > lead_pos
             })
             .unwrap_or(self.rank);
@@ -229,10 +225,7 @@ mod tests {
         let (_, encoder, mut rng) = setup(6, 12, 14);
         let mut decoder = TwoStageDecoder::new(encoder.config());
         decoder.push(encoder.encode(&mut rng)).unwrap();
-        assert!(matches!(
-            decoder.decode(),
-            Err(Error::RankDeficient { rank: 1, needed: 6 })
-        ));
+        assert!(matches!(decoder.decode(), Err(Error::RankDeficient { rank: 1, needed: 6 })));
     }
 
     #[test]

@@ -5,8 +5,7 @@ use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 
 fn arb_config() -> impl Strategy<Value = CodingConfig> {
-    (1usize..24, 1usize..96)
-        .prop_map(|(n, k)| CodingConfig::new(n, k).expect("non-zero dims"))
+    (1usize..24, 1usize..96).prop_map(|(n, k)| CodingConfig::new(n, k).expect("non-zero dims"))
 }
 
 proptest! {

@@ -130,9 +130,9 @@ impl CpuModel {
         let nf = n as f64;
         let row_bytes = nf + k as f64;
         let concurrent = segments.min(self.cores) as f64;
-        let compute =
-            k as f64 * self.clock_hz * self.cores as f64 / (nf * row_bytes)
-                / self.cycles_per_byte_decode_ms;
+        let compute = k as f64 * self.clock_hz * self.cores as f64
+            / (nf * row_bytes)
+            / self.cycles_per_byte_decode_ms;
         let working_set = concurrent * nf * row_bytes;
         if working_set <= self.l2_bytes as f64 {
             compute

@@ -38,18 +38,14 @@ impl ParallelSegmentDecoder {
     ///
     /// Returns the first segment's [`Error::RankDeficient`] if its blocks
     /// do not reach full rank, or any shape error.
-    pub fn decode_segments(
-        &self,
-        segments: &[Vec<CodedBlock>],
-    ) -> Result<Vec<Vec<u8>>, Error> {
+    pub fn decode_segments(&self, segments: &[Vec<CodedBlock>]) -> Result<Vec<Vec<u8>>, Error> {
         let mut results: Vec<Result<Vec<u8>, Error>> =
             (0..segments.len()).map(|_| Err(Error::SingularMatrix)).collect();
 
         crossbeam::scope(|scope| {
             // Work queue: chunks of segments round-robined over the pool.
-            for (chunk_blocks, chunk_results) in segments
-                .chunks(self.threads.max(1))
-                .zip(results.chunks_mut(self.threads.max(1)))
+            for (chunk_blocks, chunk_results) in
+                segments.chunks(self.threads.max(1)).zip(results.chunks_mut(self.threads.max(1)))
             {
                 // Within one wave, each segment gets its own thread.
                 let mut handles = Vec::new();
@@ -131,10 +127,7 @@ mod tests {
         let (_, blocks) = segment_with_blocks(config, 70, 4);
         let starved = blocks[..2].to_vec(); // not enough for rank 4
         let dec = ParallelSegmentDecoder::new(config, 2);
-        assert!(matches!(
-            dec.decode_segments(&[starved]),
-            Err(Error::RankDeficient { .. })
-        ));
+        assert!(matches!(dec.decode_segments(&[starved]), Err(Error::RankDeficient { .. })));
     }
 
     #[test]

@@ -128,8 +128,7 @@ impl ParallelEncoder {
                             offset += take;
                             scope.spawn(move |_| {
                                 for (i, &c) in row.iter().enumerate() {
-                                    let src =
-                                        &segment.block(i)[this_offset..this_offset + take];
+                                    let src = &segment.block(i)[this_offset..this_offset + take];
                                     region::mul_add_assign_with(backend, head, src, c);
                                 }
                             });
@@ -159,9 +158,8 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let data: Vec<u8> = (0..config.segment_bytes()).map(|_| rng.gen()).collect();
         let segment = Segment::from_bytes(config, data).unwrap();
-        let coeffs: Vec<Vec<u8>> = (0..n + 3)
-            .map(|_| (0..n).map(|_| rng.gen_range(1..=255)).collect())
-            .collect();
+        let coeffs: Vec<Vec<u8>> =
+            (0..n + 3).map(|_| (0..n).map(|_| rng.gen_range(1..=255)).collect()).collect();
         let reference = Encoder::new(segment.clone());
         (segment, coeffs, reference)
     }

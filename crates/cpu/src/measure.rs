@@ -26,9 +26,8 @@ pub fn encode_throughput(
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let data: Vec<u8> = (0..config.segment_bytes()).map(|_| rng.gen()).collect();
     let segment = Segment::from_bytes(config, data).expect("sized data");
-    let coeffs: Vec<Vec<u8>> = (0..m)
-        .map(|_| (0..n).map(|_| rng.gen_range(1..=255)).collect())
-        .collect();
+    let coeffs: Vec<Vec<u8>> =
+        (0..m).map(|_| (0..n).map(|_| rng.gen_range(1..=255)).collect()).collect();
     let encoder = ParallelEncoder::new(segment, threads, partitioning);
 
     let start = Instant::now();
@@ -40,13 +39,7 @@ pub fn encode_throughput(
 
 /// Measures multi-segment decoding throughput (decoded bytes/second) for
 /// `segments` random segments on `threads` threads.
-pub fn decode_throughput(
-    n: usize,
-    k: usize,
-    segments: usize,
-    threads: usize,
-    seed: u64,
-) -> f64 {
+pub fn decode_throughput(n: usize, k: usize, segments: usize, threads: usize, seed: u64) -> f64 {
     let config = CodingConfig::new(n, k).expect("valid config");
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut inputs = Vec::with_capacity(segments);

@@ -123,9 +123,12 @@ impl From<Gf8> for u8 {
     }
 }
 
+// In GF(2^8) addition and subtraction are both carry-less XOR; the
+// "suspicious arithmetic" lints assume integer semantics.
 impl Add for Gf8 {
     type Output = Gf8;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn add(self, rhs: Gf8) -> Gf8 {
         Gf8(self.0 ^ rhs.0)
     }
@@ -133,6 +136,7 @@ impl Add for Gf8 {
 
 impl AddAssign for Gf8 {
     #[inline]
+    #[allow(clippy::suspicious_op_assign_impl)]
     fn add_assign(&mut self, rhs: Gf8) {
         self.0 ^= rhs.0;
     }
@@ -141,6 +145,7 @@ impl AddAssign for Gf8 {
 impl Sub for Gf8 {
     type Output = Gf8;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn sub(self, rhs: Gf8) -> Gf8 {
         Gf8(self.0 ^ rhs.0)
     }
@@ -148,6 +153,7 @@ impl Sub for Gf8 {
 
 impl SubAssign for Gf8 {
     #[inline]
+    #[allow(clippy::suspicious_op_assign_impl)]
     fn sub_assign(&mut self, rhs: Gf8) {
         self.0 ^= rhs.0;
     }
@@ -283,10 +289,7 @@ mod lib_tests {
     fn sum_and_product_fold() {
         let xs = [Gf8(1), Gf8(2), Gf8(3)];
         assert_eq!(xs.iter().copied().sum::<Gf8>(), Gf8(1 ^ 2 ^ 3));
-        assert_eq!(
-            xs.iter().copied().product::<Gf8>(),
-            Gf8(1) * Gf8(2) * Gf8(3)
-        );
+        assert_eq!(xs.iter().copied().product::<Gf8>(), Gf8(1) * Gf8(2) * Gf8(3));
     }
 
     #[test]

@@ -43,12 +43,8 @@ pub enum Backend {
 
 impl Backend {
     /// All available backends, for exhaustive testing and benchmarking.
-    pub const ALL: [Backend; 4] = [
-        Backend::Table,
-        Backend::LogExp,
-        Backend::LoopWide,
-        Backend::Nibble,
-    ];
+    pub const ALL: [Backend; 4] =
+        [Backend::Table, Backend::LogExp, Backend::LoopWide, Backend::Nibble];
 }
 
 impl Default for Backend {
@@ -231,10 +227,7 @@ mod tests {
     use crate::scalar::mul_loop;
 
     fn reference_mul_add(dst: &[u8], src: &[u8], c: u8) -> Vec<u8> {
-        dst.iter()
-            .zip(src)
-            .map(|(&d, &s)| d ^ mul_loop(c, s))
-            .collect()
+        dst.iter().zip(src).map(|(&d, &s)| d ^ mul_loop(c, s)).collect()
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use crate::device::DeviceSpec;
 use crate::mem::GlobalMemory;
+use crate::sanitizer::SanitizerState;
 use crate::shared::SharedMem;
 use crate::stats::ExecCounters;
 use crate::texture::TexCache;
@@ -32,9 +33,11 @@ pub struct BlockCtx<'a> {
     tex: &'a mut TexCache,
     shared: SharedMem,
     counters: ExecCounters,
+    san: Option<&'a mut SanitizerState>,
 }
 
 impl<'a> BlockCtx<'a> {
+    #[allow(clippy::too_many_arguments)] // launch plumbing, one call site
     pub(crate) fn new(
         block_idx: usize,
         grid_blocks: usize,
@@ -43,8 +46,9 @@ impl<'a> BlockCtx<'a> {
         spec: &'a DeviceSpec,
         gmem: &'a mut GlobalMemory,
         tex: &'a mut TexCache,
+        san: Option<&'a mut SanitizerState>,
     ) -> BlockCtx<'a> {
-        BlockCtx {
+        let mut ctx = BlockCtx {
             block_idx,
             grid_blocks,
             block_threads,
@@ -53,7 +57,12 @@ impl<'a> BlockCtx<'a> {
             tex,
             shared: SharedMem::new(shared_bytes, spec.shared_mem_banks),
             counters: ExecCounters::default(),
+            san,
+        };
+        if let Some(san) = ctx.san.as_deref_mut() {
+            san.begin_block(block_idx, shared_bytes);
         }
+        ctx
     }
 
     pub(crate) fn into_counters(self) -> ExecCounters {
@@ -90,6 +99,20 @@ impl<'a> BlockCtx<'a> {
     #[inline]
     pub fn sync(&mut self) {
         self.counters.syncs += 1;
+        if let Some(san) = self.san.as_deref_mut() {
+            san.on_sync();
+        }
+    }
+
+    /// Declares which warp issues the operations that follow, for the
+    /// sanitizer's race attribution (warp-vectorized kernels call this at
+    /// the top of their per-warp loops). A no-op without a sanitizer; has
+    /// no effect on cost accounting.
+    #[inline]
+    pub fn at_warp(&mut self, warp: usize) {
+        if let Some(san) = self.san.as_deref_mut() {
+            san.set_warp(warp);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -106,8 +129,11 @@ impl<'a> BlockCtx<'a> {
     pub fn ld_global_u32(&mut self, addrs: &[u64], out: &mut [u32]) {
         self.check_warp(addrs.len(), out.len());
         let hw = self.half_warp();
-        GlobalMemory::charge(&mut self.counters, addrs, 4, hw);
+        let tx = GlobalMemory::charge(&mut self.counters, addrs, 4, hw);
         self.counters.warp_instructions += 1;
+        if let Some(san) = self.san.as_deref_mut() {
+            san.global_access(addrs, 4, false, tx, self.spec.warp_size);
+        }
         for (o, &a) in out.iter_mut().zip(addrs) {
             *o = self.gmem.read_u32(a);
         }
@@ -121,8 +147,11 @@ impl<'a> BlockCtx<'a> {
     pub fn st_global_u32(&mut self, addrs: &[u64], vals: &[u32]) {
         self.check_warp(addrs.len(), vals.len());
         let hw = self.half_warp();
-        GlobalMemory::charge(&mut self.counters, addrs, 4, hw);
+        let tx = GlobalMemory::charge(&mut self.counters, addrs, 4, hw);
         self.counters.warp_instructions += 1;
+        if let Some(san) = self.san.as_deref_mut() {
+            san.global_access(addrs, 4, true, tx, self.spec.warp_size);
+        }
         for (&a, &v) in addrs.iter().zip(vals) {
             self.gmem.write_u32(a, v);
         }
@@ -132,8 +161,11 @@ impl<'a> BlockCtx<'a> {
     pub fn ld_global_u8(&mut self, addrs: &[u64], out: &mut [u8]) {
         self.check_warp(addrs.len(), out.len());
         let hw = self.half_warp();
-        GlobalMemory::charge(&mut self.counters, addrs, 1, hw);
+        let tx = GlobalMemory::charge(&mut self.counters, addrs, 1, hw);
         self.counters.warp_instructions += 1;
+        if let Some(san) = self.san.as_deref_mut() {
+            san.global_access(addrs, 1, false, tx, self.spec.warp_size);
+        }
         for (o, &a) in out.iter_mut().zip(addrs) {
             *o = self.gmem.read_u8(a);
         }
@@ -143,8 +175,11 @@ impl<'a> BlockCtx<'a> {
     pub fn st_global_u8(&mut self, addrs: &[u64], vals: &[u8]) {
         self.check_warp(addrs.len(), vals.len());
         let hw = self.half_warp();
-        GlobalMemory::charge(&mut self.counters, addrs, 1, hw);
+        let tx = GlobalMemory::charge(&mut self.counters, addrs, 1, hw);
         self.counters.warp_instructions += 1;
+        if let Some(san) = self.san.as_deref_mut() {
+            san.global_access(addrs, 1, true, tx, self.spec.warp_size);
+        }
         for (&a, &v) in addrs.iter().zip(vals) {
             self.gmem.write_u8(a, v);
         }
@@ -158,6 +193,9 @@ impl<'a> BlockCtx<'a> {
         self.counters.gmem_transactions += 1;
         self.counters.gmem_bytes += 64;
         self.counters.warp_instructions += 1;
+        if let Some(san) = self.san.as_deref_mut() {
+            san.global_one(addr, 4, false);
+        }
         self.gmem.read_u32(addr)
     }
 
@@ -170,8 +208,11 @@ impl<'a> BlockCtx<'a> {
     pub fn ld_shared_u32(&mut self, addrs: &[u64], out: &mut [u32]) {
         self.check_warp(addrs.len(), out.len());
         let hw = self.half_warp();
-        self.shared.charge(&mut self.counters, addrs, hw);
+        let extra = self.shared.charge(&mut self.counters, addrs, hw);
         self.counters.warp_instructions += 1;
+        if let Some(san) = self.san.as_deref_mut() {
+            san.shared_access(addrs, 4, false, extra, self.spec.warp_size);
+        }
         for (o, &a) in out.iter_mut().zip(addrs) {
             *o = self.shared.read_u32(a as u32);
         }
@@ -181,8 +222,11 @@ impl<'a> BlockCtx<'a> {
     pub fn st_shared_u32(&mut self, addrs: &[u64], vals: &[u32]) {
         self.check_warp(addrs.len(), vals.len());
         let hw = self.half_warp();
-        self.shared.charge(&mut self.counters, addrs, hw);
+        let extra = self.shared.charge(&mut self.counters, addrs, hw);
         self.counters.warp_instructions += 1;
+        if let Some(san) = self.san.as_deref_mut() {
+            san.shared_access(addrs, 4, true, extra, self.spec.warp_size);
+        }
         for (&a, &v) in addrs.iter().zip(vals) {
             self.shared.write_u32(a as u32, v);
         }
@@ -192,8 +236,11 @@ impl<'a> BlockCtx<'a> {
     pub fn ld_shared_u8(&mut self, addrs: &[u64], out: &mut [u8]) {
         self.check_warp(addrs.len(), out.len());
         let hw = self.half_warp();
-        self.shared.charge(&mut self.counters, addrs, hw);
+        let extra = self.shared.charge(&mut self.counters, addrs, hw);
         self.counters.warp_instructions += 1;
+        if let Some(san) = self.san.as_deref_mut() {
+            san.shared_access(addrs, 1, false, extra, self.spec.warp_size);
+        }
         for (o, &a) in out.iter_mut().zip(addrs) {
             *o = self.shared.read_u8(a as u32);
         }
@@ -203,11 +250,30 @@ impl<'a> BlockCtx<'a> {
     pub fn st_shared_u8(&mut self, addrs: &[u64], vals: &[u8]) {
         self.check_warp(addrs.len(), vals.len());
         let hw = self.half_warp();
-        self.shared.charge(&mut self.counters, addrs, hw);
+        let extra = self.shared.charge(&mut self.counters, addrs, hw);
         self.counters.warp_instructions += 1;
+        if let Some(san) = self.san.as_deref_mut() {
+            san.shared_access(addrs, 1, true, extra, self.spec.warp_size);
+        }
         for (&a, &v) in addrs.iter().zip(vals) {
             self.shared.write_u8(a as u32, v);
         }
+    }
+
+    /// Block-wide broadcast load of one shared word: every warp of the
+    /// block reads the same 4-byte word (a conflict-free broadcast within
+    /// each warp), e.g. a pivot or factor all threads consume. Charged as
+    /// one conflict-free access per warp; under the sanitizer the read is
+    /// attributed to *all* warps, so a same-epoch write to the word from
+    /// any warp is reported as a race.
+    pub fn ld_shared_u32_broadcast(&mut self, addr: u32) -> u32 {
+        let warps = self.warps() as u64;
+        self.counters.warp_instructions += warps;
+        self.counters.smem_ops += warps;
+        if let Some(san) = self.san.as_deref_mut() {
+            san.shared_broadcast_read(addr, warps as usize);
+        }
+        self.shared.read_u32(addr)
     }
 
     /// Shared-memory `atomicMin` over a warp: every active lane proposes a
@@ -231,6 +297,9 @@ impl<'a> BlockCtx<'a> {
         // Same-address atomics serialize lane by lane.
         self.counters.smem_conflict_cycles +=
             lane_vals.len() as u64 * crate::shared::SMEM_CYCLES_PER_HALF_WARP;
+        if let Some(san) = self.san.as_deref_mut() {
+            san.shared_atomic(addr);
+        }
         let mut min = self.shared.read_u32(addr);
         for &v in lane_vals {
             min = min.min(v);
@@ -251,6 +320,13 @@ impl<'a> BlockCtx<'a> {
         self.check_warp(addrs.len(), out.len());
         self.counters.warp_instructions += 1;
         self.tex.access(&mut self.counters, addrs);
+        if let Some(san) = self.san.as_deref_mut() {
+            // Texture reads are memchecked like global reads but excluded
+            // from the coalescing lint (the cache absorbs scatter).
+            for &a in addrs {
+                san.global_one(a, 1, false);
+            }
+        }
         for (o, &a) in out.iter_mut().zip(addrs) {
             *o = self.gmem.read_u8(a);
         }
@@ -267,6 +343,9 @@ impl<'a> BlockCtx<'a> {
     /// charged against the mirror via [`BlockCtx::ld_shared_u32`], while
     /// the functional value is read here from the authoritative global
     /// copy. Never use this as a shortcut around a real, costed access.
+    ///
+    /// The sanitizer deliberately ignores this read too — the paired
+    /// shared-memory access is the one that is checked.
     #[inline]
     pub fn peek_global_u32(&self, addr: u64) -> u32 {
         self.gmem.read_u32(addr)

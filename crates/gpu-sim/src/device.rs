@@ -207,7 +207,7 @@ impl DeviceBuilder {
         let s = &self.spec;
         assert!(s.sm_count > 0, "device must have at least one SM");
         assert!(
-            s.warp_size % s.cores_per_sm == 0,
+            s.warp_size.is_multiple_of(s.cores_per_sm),
             "warp size must be a multiple of cores per SM"
         );
         assert!(

@@ -3,6 +3,7 @@
 use crate::ctx::BlockCtx;
 use crate::device::DeviceSpec;
 use crate::mem::{DeviceBuffer, GlobalMemory};
+use crate::sanitizer::{SanitizerConfig, SanitizerReport, SanitizerState};
 use crate::stats::{ExecCounters, LaunchStats};
 use crate::texture::TexCache;
 use crate::timing;
@@ -86,6 +87,7 @@ pub struct Gpu {
     spec: DeviceSpec,
     mem: GlobalMemory,
     tex_caches: Vec<TexCache>,
+    sanitizer: Option<SanitizerState>,
 }
 
 impl Gpu {
@@ -94,7 +96,31 @@ impl Gpu {
         let tex_caches = (0..spec.sm_count)
             .map(|_| TexCache::new(spec.tex_cache_bytes, spec.tex_line_bytes))
             .collect();
-        Gpu { mem: GlobalMemory::new(spec.device_mem_bytes), tex_caches, spec }
+        Gpu { mem: GlobalMemory::new(spec.device_mem_bytes), tex_caches, spec, sanitizer: None }
+    }
+
+    /// Turns the kernel sanitizer on (see [`crate::sanitizer`]): subsequent
+    /// launches are instrumented and their findings accumulate in
+    /// [`Gpu::sanitizer_report`]. Memory allocated before this call is
+    /// conservatively treated as initialized, so enable the sanitizer
+    /// before allocating to get full uninitialized-read coverage.
+    pub fn enable_sanitizer(&mut self, config: SanitizerConfig) {
+        self.sanitizer = Some(SanitizerState::new(config, &self.mem));
+    }
+
+    /// Turns the sanitizer off, returning the accumulated session report.
+    pub fn disable_sanitizer(&mut self) -> Option<SanitizerReport> {
+        self.sanitizer.take().map(|s| s.report().clone())
+    }
+
+    /// Whether the sanitizer is currently enabled.
+    pub fn sanitizer_enabled(&self) -> bool {
+        self.sanitizer.is_some()
+    }
+
+    /// The findings of every sanitized launch so far, if enabled.
+    pub fn sanitizer_report(&self) -> Option<&SanitizerReport> {
+        self.sanitizer.as_ref().map(|s| s.report())
     }
 
     /// The device specification.
@@ -109,7 +135,11 @@ impl Gpu {
     ///
     /// Panics when device memory is exhausted.
     pub fn alloc(&mut self, len: usize) -> DeviceBuffer {
-        self.mem.alloc(len)
+        let buf = self.mem.alloc(len);
+        if let Some(san) = &mut self.sanitizer {
+            san.note_alloc(buf.offset, buf.len);
+        }
+        buf
     }
 
     /// Frees all device allocations.
@@ -117,6 +147,9 @@ impl Gpu {
         self.mem.reset();
         for cache in &mut self.tex_caches {
             cache.invalidate();
+        }
+        if let Some(san) = &mut self.sanitizer {
+            san.clear_shadow();
         }
     }
 
@@ -129,6 +162,9 @@ impl Gpu {
     pub fn upload(&mut self, buf: DeviceBuffer, data: &[u8]) -> TransferStats {
         assert_eq!(data.len(), buf.len(), "upload size mismatch");
         self.mem.slice_mut(buf).copy_from_slice(data);
+        if let Some(san) = &mut self.sanitizer {
+            san.mark_initialized(buf.offset, buf.len);
+        }
         self.transfer_stats(data.len())
     }
 
@@ -147,6 +183,9 @@ impl Gpu {
     pub fn poke(&mut self, buf: DeviceBuffer, data: &[u8]) {
         assert_eq!(data.len(), buf.len(), "poke size mismatch");
         self.mem.slice_mut(buf).copy_from_slice(data);
+        if let Some(san) = &mut self.sanitizer {
+            san.mark_initialized(buf.offset, buf.len);
+        }
     }
 
     /// Launches `kernel` over `grid`, executing every block functionally
@@ -159,6 +198,37 @@ impl Gpu {
     ///
     /// Panics if the grid is empty or a block exceeds device limits.
     pub fn launch<K: Kernel>(&mut self, kernel: &K, grid: GridConfig) -> LaunchStats {
+        self.launch_inner(kernel, grid, std::any::type_name::<K>())
+    }
+
+    /// Launches `kernel` under the sanitizer with an explicit report label,
+    /// enabling the sanitizer (default configuration) if it is not on yet.
+    ///
+    /// This is the entry point kernel test suites use: functional execution
+    /// and timing are identical to [`Gpu::launch`], and the returned
+    /// [`LaunchStats::sanitizer`] carries this launch's findings.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Gpu::launch`].
+    pub fn launch_checked<K: Kernel>(
+        &mut self,
+        kernel: &K,
+        grid: GridConfig,
+        label: &str,
+    ) -> LaunchStats {
+        if self.sanitizer.is_none() {
+            self.enable_sanitizer(SanitizerConfig::default());
+        }
+        self.launch_inner(kernel, grid, label)
+    }
+
+    fn launch_inner<K: Kernel>(
+        &mut self,
+        kernel: &K,
+        grid: GridConfig,
+        label: &str,
+    ) -> LaunchStats {
         assert!(grid.blocks > 0, "empty grid");
         // Occupancy capacity, capped by how many blocks the grid actually
         // supplies per SM — a 30-block grid on 30 SMs keeps one resident
@@ -176,6 +246,9 @@ impl Gpu {
             cache.invalidate();
         }
 
+        if let Some(san) = &mut self.sanitizer {
+            san.begin_launch(label);
+        }
         let mut per_sm = vec![ExecCounters::default(); self.spec.sm_count];
         for block_idx in 0..grid.blocks {
             let sm = block_idx % self.spec.sm_count;
@@ -187,12 +260,23 @@ impl Gpu {
                 &self.spec,
                 &mut self.mem,
                 &mut self.tex_caches[sm],
+                self.sanitizer.as_mut(),
             );
             kernel.run_block(&mut ctx);
             per_sm[sm].merge(&ctx.into_counters());
         }
 
-        timing::model_launch(&self.spec, &per_sm, grid.blocks, grid.threads_per_block, resident)
+        let mut stats = timing::model_launch(
+            &self.spec,
+            &per_sm,
+            grid.blocks,
+            grid.threads_per_block,
+            resident,
+        );
+        if let Some(san) = &mut self.sanitizer {
+            stats.sanitizer = Some(san.finish_launch(&stats));
+        }
+        stats
     }
 
     /// Launches `kernel` over `grid`, but *functionally executes only a
@@ -210,7 +294,28 @@ impl Gpu {
     ///
     /// Panics if the grid is empty, a block exceeds device limits, or
     /// `max_blocks_executed` is zero.
+    ///
+    /// Sampled launches are never sanitized: the skipped blocks leave
+    /// device memory partially written, which would poison the
+    /// initialization shadow. An enabled sanitizer is suspended for the
+    /// duration and everything allocated is conservatively marked
+    /// initialized afterward.
     pub fn launch_sampled<K: Kernel>(
+        &mut self,
+        kernel: &K,
+        grid: GridConfig,
+        max_blocks_executed: usize,
+    ) -> LaunchStats {
+        let suspended = self.sanitizer.take();
+        let stats = self.launch_sampled_inner(kernel, grid, max_blocks_executed);
+        if let Some(mut san) = suspended {
+            san.mark_all_initialized();
+            self.sanitizer = Some(san);
+        }
+        stats
+    }
+
+    fn launch_sampled_inner<K: Kernel>(
         &mut self,
         kernel: &K,
         grid: GridConfig,
@@ -241,6 +346,7 @@ impl Gpu {
                 &self.spec,
                 &mut self.mem,
                 &mut self.tex_caches[sm],
+                None,
             );
             kernel.run_block(&mut ctx);
             pooled.merge(&ctx.into_counters());

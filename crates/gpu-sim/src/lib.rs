@@ -11,7 +11,9 @@
 //!   actual address streams ([`shared`]),
 //! * a **texture cache** with warp-level request merging ([`texture`]),
 //! * per-SM **occupancy** and memory-latency hiding ([`timing`]),
-//! * kernel-launch and PCIe-transfer overheads ([`Gpu`]).
+//! * kernel-launch and PCIe-transfer overheads ([`Gpu`]),
+//! * an opt-in **kernel sanitizer** — memcheck, cross-warp racecheck, and
+//!   performance lints over the measured counters ([`sanitizer`]).
 //!
 //! Kernels implement [`Kernel`] and are written warp-vectorized against
 //! [`BlockCtx`] — one call issues an operation for all lanes of a warp, so
@@ -29,6 +31,7 @@ pub mod ctx;
 pub mod device;
 pub mod gpu;
 pub mod mem;
+pub mod sanitizer;
 pub mod shared;
 pub mod stats;
 pub mod texture;
@@ -38,4 +41,5 @@ pub use ctx::BlockCtx;
 pub use device::{DeviceBuilder, DeviceSpec};
 pub use gpu::{Gpu, GridConfig, Kernel, TransferStats};
 pub use mem::DeviceBuffer;
+pub use sanitizer::{Diagnostic, DiagnosticKind, SanitizerConfig, SanitizerReport, Severity};
 pub use stats::{Bottleneck, ExecCounters, LaunchStats, PipelineStats};

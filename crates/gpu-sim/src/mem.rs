@@ -97,12 +97,16 @@ pub(crate) fn coalesce(addrs: &[u64], access_bytes: u64, half_warp: usize) -> (u
 pub struct GlobalMemory {
     data: Vec<u8>,
     cursor: u64,
+    /// `(offset, len)` of every live allocation, in allocation order (the
+    /// bump allocator never reorders). The sanitizer's memcheck seeds its
+    /// extent map from this.
+    allocs: Vec<(u64, u64)>,
 }
 
 impl GlobalMemory {
     /// Creates `capacity` bytes of zeroed device memory.
     pub fn new(capacity: usize) -> GlobalMemory {
-        GlobalMemory { data: vec![0; capacity], cursor: 0 }
+        GlobalMemory { data: vec![0; capacity], cursor: 0, allocs: Vec::new() }
     }
 
     /// Allocates `len` bytes, 256-byte aligned (CUDA's allocation
@@ -120,6 +124,7 @@ impl GlobalMemory {
             self.data.len()
         );
         self.cursor = aligned + len as u64;
+        self.allocs.push((aligned, len as u64));
         DeviceBuffer { offset: aligned, len: len as u64 }
     }
 
@@ -128,6 +133,12 @@ impl GlobalMemory {
     pub fn reset(&mut self) {
         self.cursor = 0;
         self.data.fill(0);
+        self.allocs.clear();
+    }
+
+    /// The live allocations as `(offset, len)` pairs, sorted by offset.
+    pub(crate) fn extents(&self) -> &[(u64, u64)] {
+        &self.allocs
     }
 
     /// Bytes currently allocated.
@@ -168,17 +179,19 @@ impl GlobalMemory {
         self.data[a..a + 4].copy_from_slice(&v.to_le_bytes());
     }
 
-    /// Charges one warp-level global access to the counters.
+    /// Charges one warp-level global access to the counters and returns the
+    /// coalesced transaction count (sanitizer evidence).
     pub(crate) fn charge(
         counters: &mut ExecCounters,
         addrs: &[u64],
         access_bytes: u64,
         half_warp: usize,
-    ) {
+    ) -> u64 {
         let (tx, bytes) = coalesce(addrs, access_bytes, half_warp);
         counters.gmem_ops += 1;
         counters.gmem_transactions += tx;
         counters.gmem_bytes += bytes;
+        tx
     }
 }
 
@@ -222,7 +235,7 @@ mod tests {
 
     #[test]
     fn byte_accesses_use_32_byte_segments() {
-        let addrs: Vec<u64> = (0..16).map(|i| i).collect();
+        let addrs: Vec<u64> = (0..16).collect();
         let (tx, bytes) = coalesce(&addrs, 1, 16);
         assert_eq!(tx, 1);
         assert_eq!(bytes, 32);

@@ -41,11 +41,22 @@ impl SharedMem {
     }
 
     /// Raw view (host-side initialization in tests).
+    ///
+    /// Reads through this slice bypass the instrumented
+    /// [`crate::BlockCtx::ld_shared_u32`] family, so they are invisible to
+    /// the sanitizer's racecheck and uninitialized-read tracking (and to
+    /// the cost model). Kernel code must use the instrumented operations;
+    /// raw views are for test assertions only.
     pub fn as_slice(&self) -> &[u8] {
         &self.data
     }
 
     /// Raw mutable view.
+    ///
+    /// The same caveat as [`SharedMem::as_slice`] applies, and writes made
+    /// here are not recorded as initializing shared memory, so a
+    /// sanitized kernel that later reads those bytes will report an
+    /// uninitialized-shared-read error.
     pub fn as_mut_slice(&mut self) -> &mut [u8] {
         &mut self.data
     }
@@ -102,12 +113,20 @@ impl SharedMem {
     }
 
     /// Charges one warp-level shared access to the counters, measuring bank
-    /// conflicts from the actual addresses.
-    pub(crate) fn charge(&self, counters: &mut ExecCounters, addrs: &[u64], half_warp: usize) {
+    /// conflicts from the actual addresses. Returns the extra serialization
+    /// cycles beyond the conflict-free baseline (sanitizer evidence).
+    pub(crate) fn charge(
+        &self,
+        counters: &mut ExecCounters,
+        addrs: &[u64],
+        half_warp: usize,
+    ) -> u64 {
         let cycles = self.access_cycles(addrs, half_warp);
         let baseline = addrs.chunks(half_warp).count() as u64 * SMEM_CYCLES_PER_HALF_WARP;
+        let extra = cycles.saturating_sub(baseline);
         counters.smem_ops += 1;
-        counters.smem_conflict_cycles += cycles.saturating_sub(baseline);
+        counters.smem_conflict_cycles += extra;
+        extra
     }
 }
 
@@ -136,33 +155,21 @@ mod tests {
     fn stride_16_words_is_fully_serialized() {
         // All 16 lanes map to bank 0 with distinct words: degree 16.
         let addrs: Vec<u64> = (0..16).map(|i| i * 16 * 4).collect();
-        assert_eq!(
-            smem().access_cycles(&addrs, 16),
-            16 * SMEM_CYCLES_PER_HALF_WARP
-        );
+        assert_eq!(smem().access_cycles(&addrs, 16), 16 * SMEM_CYCLES_PER_HALF_WARP);
     }
 
     #[test]
     fn two_way_conflict_doubles_cost() {
         // Lanes 0..8 on banks 0..8 (words 0..8), lanes 8..16 on the same
         // banks but different words (16..24): degree 2.
-        let addrs: Vec<u64> = (0..8u64)
-            .map(|i| i * 4)
-            .chain((16..24u64).map(|i| i * 4))
-            .collect();
-        assert_eq!(
-            smem().access_cycles(&addrs, 16),
-            2 * SMEM_CYCLES_PER_HALF_WARP
-        );
+        let addrs: Vec<u64> = (0..8u64).map(|i| i * 4).chain((16..24u64).map(|i| i * 4)).collect();
+        assert_eq!(smem().access_cycles(&addrs, 16), 2 * SMEM_CYCLES_PER_HALF_WARP);
     }
 
     #[test]
     fn full_warp_is_two_half_warps() {
         let addrs: Vec<u64> = (0..32).map(|i| i * 4).collect();
-        assert_eq!(
-            smem().access_cycles(&addrs, 16),
-            2 * SMEM_CYCLES_PER_HALF_WARP
-        );
+        assert_eq!(smem().access_cycles(&addrs, 16), 2 * SMEM_CYCLES_PER_HALF_WARP);
     }
 
     #[test]

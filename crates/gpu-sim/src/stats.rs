@@ -73,6 +73,9 @@ pub struct LaunchStats {
     pub memory_cycles: u64,
     /// Memory-latency cycles the occupancy could not hide.
     pub exposed_latency_cycles: u64,
+    /// This launch's sanitizer findings, when the sanitizer was enabled
+    /// (see [`crate::sanitizer`]); `None` for uninstrumented launches.
+    pub sanitizer: Option<crate::sanitizer::SanitizerReport>,
 }
 
 impl LaunchStats {
@@ -187,12 +190,8 @@ impl PipelineStats {
         if self.total_s == 0.0 {
             return 0.0;
         }
-        let sum: f64 = self
-            .phases
-            .iter()
-            .filter(|(label, _)| label.contains(needle))
-            .map(|(_, s)| s)
-            .sum();
+        let sum: f64 =
+            self.phases.iter().filter(|(label, _)| label.contains(needle)).map(|(_, s)| s).sum();
         sum / self.total_s
     }
 }

@@ -27,10 +27,7 @@ impl TexCache {
     /// Panics if the geometry is degenerate.
     pub fn new(capacity: usize, line_bytes: usize) -> TexCache {
         assert!(line_bytes > 0 && capacity >= line_bytes, "degenerate texture cache");
-        TexCache {
-            tags: vec![u64::MAX; capacity / line_bytes],
-            line_bytes: line_bytes as u64,
-        }
+        TexCache { tags: vec![u64::MAX; capacity / line_bytes], line_bytes: line_bytes as u64 }
     }
 
     /// Services a warp of texture fetches at the given byte addresses,

@@ -49,11 +49,7 @@ pub fn occupancy(spec: &DeviceSpec, block_threads: usize, shared_bytes: usize) -
         spec.shared_mem_usable()
     );
     let by_threads = spec.max_threads_per_sm / block_threads;
-    let by_shared = if shared_bytes == 0 {
-        usize::MAX
-    } else {
-        spec.shared_mem_usable() / shared_bytes
-    };
+    let by_shared = spec.shared_mem_usable().checked_div(shared_bytes).unwrap_or(usize::MAX);
     spec.max_blocks_per_sm.min(by_threads).min(by_shared).max(1)
 }
 
@@ -66,8 +62,7 @@ pub fn model_launch(
     block_threads: usize,
     resident_blocks: usize,
 ) -> LaunchStats {
-    let resident_warps =
-        (resident_blocks * block_threads.div_ceil(spec.warp_size)).max(1) as u64;
+    let resident_warps = (resident_blocks * block_threads.div_ceil(spec.warp_size)).max(1) as u64;
     let bytes_per_cycle_per_sm = spec.mem_bandwidth / spec.sm_count as f64 / spec.core_clock_hz;
 
     let mut total = ExecCounters::default();
@@ -117,6 +112,7 @@ pub fn model_launch(
         compute_cycles: worst.0,
         memory_cycles: worst.1,
         exposed_latency_cycles: worst.2,
+        sanitizer: None,
     }
 }
 

@@ -169,12 +169,7 @@ mod tests {
         let points = coalescing_ablation(32, 1024);
         let row = &points[0];
         let col = &points[1];
-        assert!(
-            row.rate > 1.8 * col.rate,
-            "coalescing must matter: {} vs {}",
-            row.rate,
-            col.rate
-        );
+        assert!(row.rate > 1.8 * col.rate, "coalescing must matter: {} vs {}", row.rate, col.rate);
         assert!(
             col.launch.counters.gmem_transactions > 4 * row.launch.counters.gmem_transactions,
             "column-major must decompose the loads"
@@ -211,8 +206,7 @@ mod tests {
         let one = &points[0];
         let eight = points.last().expect("has points");
         assert!(
-            eight.launch.counters.smem_conflict_cycles
-                < one.launch.counters.smem_conflict_cycles,
+            eight.launch.counters.smem_conflict_cycles < one.launch.counters.smem_conflict_cycles,
             "replication must reduce conflicts: {} vs {}",
             one.launch.counters.smem_conflict_cycles,
             eight.launch.counters.smem_conflict_cycles

@@ -12,7 +12,7 @@
 //! scaled linearly (encoding cost is exactly linear in the block count; the
 //! scaling is tested against full runs at small sizes).
 
-use nc_gpu_sim::{DeviceSpec, Gpu, LaunchStats, PipelineStats};
+use nc_gpu_sim::{DeviceSpec, Gpu, LaunchStats, PipelineStats, SanitizerConfig, SanitizerReport};
 use nc_rlnc::{CodedBlock, CodingConfig, Segment};
 use rand::{Rng, SeedableRng};
 
@@ -115,6 +115,19 @@ impl GpuEncoder {
         self.scheme
     }
 
+    /// Enables the kernel sanitizer on the underlying device (see
+    /// [`nc_gpu_sim::sanitizer`]). Instrumented launches are checked from
+    /// here on; sampled measurement launches are never sanitized, so
+    /// [`GpuEncoder::measure`] stays sanitizer-free by construction.
+    pub fn enable_sanitizer(&mut self, config: SanitizerConfig) {
+        self.gpu.enable_sanitizer(config);
+    }
+
+    /// The accumulated sanitizer report, if the sanitizer is enabled.
+    pub fn sanitizer_report(&self) -> Option<&SanitizerReport> {
+        self.gpu.sanitizer_report()
+    }
+
     /// Functionally encodes `coeff_rows.len()` coded blocks of `segment`,
     /// returning them with the full pipeline timing.
     ///
@@ -135,8 +148,7 @@ impl GpuEncoder {
             assert_eq!(row.len(), n, "coefficient row length mismatch");
         }
         let flat: Vec<u8> = coeff_rows.concat();
-        let (out, _, pipeline) =
-            self.run(segment.data(), &flat, n, k, m, m, Fidelity::Functional);
+        let (out, _, pipeline) = self.run(segment.data(), &flat, n, k, m, m, Fidelity::Functional);
         let coded = out.expect("functional run returns data");
         let blocks = coeff_rows
             .iter()
@@ -155,8 +167,7 @@ impl GpuEncoder {
         let m_exec = m.min((MEASURE_TARGET_WORDS / (k / 4)).max(1));
         let flat: Vec<u8> = (0..m_exec * n).map(|_| rng.gen_range(1..=255)).collect();
 
-        let (_, launch, mut pipeline) =
-            self.run(&data, &flat, n, k, m_exec, m, Fidelity::Timing);
+        let (_, launch, mut pipeline) = self.run(&data, &flat, n, k, m_exec, m, Fidelity::Timing);
         let scale = m as f64 / m_exec as f64;
         let kernel_s = pipeline.share_of("encode") * pipeline.total_s * scale;
         let preprocess_s = pipeline.share_of("preprocess") * pipeline.total_s;
@@ -172,6 +183,7 @@ impl GpuEncoder {
     }
 
     /// Shared pipeline: upload → (preprocess) → encode.
+    #[allow(clippy::too_many_arguments)] // one internal call site per path
     fn run(
         &mut self,
         segment_data: &[u8],
@@ -242,8 +254,7 @@ impl GpuEncoder {
                     let s = match fidelity {
                         Fidelity::Functional => self.gpu.launch(&kp, kp.grid()),
                         Fidelity::Timing => {
-                            let s =
-                                self.gpu.launch_sampled(&kp, kp.grid(), MEASURE_SAMPLED_BLOCKS);
+                            let s = self.gpu.launch_sampled(&kp, kp.grid(), MEASURE_SAMPLED_BLOCKS);
                             // The sampled launch transforms only a subset of
                             // the buffer; complete it host-side so the encode
                             // kernel's table lookups (and hence the measured
@@ -371,6 +382,18 @@ impl GpuProgressiveDecoder {
         self.kernel_s
     }
 
+    /// Enables the kernel sanitizer for subsequent [`GpuProgressiveDecoder::push`]
+    /// calls. Only meaningful at [`Fidelity::Functional`]; timing-fidelity
+    /// pushes use sampled launches, which are never sanitized.
+    pub fn enable_sanitizer(&mut self, config: SanitizerConfig) {
+        self.gpu.enable_sanitizer(config);
+    }
+
+    /// The accumulated sanitizer report, if the sanitizer is enabled.
+    pub fn sanitizer_report(&self) -> Option<&SanitizerReport> {
+        self.gpu.sanitizer_report()
+    }
+
     /// Pipeline breakdown including transfers.
     pub fn pipeline(&self) -> &PipelineStats {
         &self.pipeline
@@ -433,11 +456,7 @@ impl GpuProgressiveDecoder {
     /// Panics when called on a [`Fidelity::Timing`] decoder, whose device
     /// state is intentionally partial.
     pub fn recover(&self) -> Option<Vec<u8>> {
-        assert_eq!(
-            self.fidelity,
-            Fidelity::Functional,
-            "recover requires functional fidelity"
-        );
+        assert_eq!(self.fidelity, Fidelity::Functional, "recover requires functional fidelity");
         if !self.is_complete() {
             return None;
         }
@@ -528,8 +547,7 @@ impl GpuMultiDecoder {
                 let off = s * n * 2 * n + r * 2 * n;
                 aug[off..off + n].copy_from_slice(b.coefficients());
                 aug[off + n + r] = 1;
-                coded[s * n * k + r * k..s * n * k + (r + 1) * k]
-                    .copy_from_slice(b.payload());
+                coded[s * n * k + r * k..s * n * k + (r + 1) * k].copy_from_slice(b.payload());
             }
         }
         self.run(n, k, s_count, &aug, &coded, Fidelity::Functional)
@@ -570,7 +588,7 @@ impl GpuMultiDecoder {
         coded_host: &[u8],
         fidelity: Fidelity,
     ) -> MultiDecodeOutcome {
-        assert!(n % 4 == 0 && k % 4 == 0, "n and k must be multiples of 4");
+        assert!(n.is_multiple_of(4) && k.is_multiple_of(4), "n and k must be multiples of 4");
         let mut pipeline = PipelineStats::new();
         self.gpu.reset();
         let aug = self.gpu.alloc(s_count * n * 2 * n);
@@ -642,15 +660,11 @@ impl GpuMultiDecoder {
                             mul_s += st.elapsed_s;
                             let (bytes, t) = self.gpu.download(out);
                             recovered_host.push(bytes);
-                            pipeline.record(
-                                format!("pcie: segment {seg} download"),
-                                t.seconds,
-                            );
+                            pipeline.record(format!("pcie: segment {seg} download"), t.seconds);
                         }
                     }
                     Fidelity::Timing => {
-                        let recover =
-                            RecoverKernel { inv, coded, out, n, k, segments: 1 };
+                        let recover = RecoverKernel { inv, coded, out, n, k, segments: 1 };
                         let st = self.gpu.launch_sampled(
                             &recover,
                             recover.grid(),
@@ -730,10 +744,7 @@ impl GpuMultiDecoder {
                             mul_s += self.gpu.launch(&kernel, kernel.grid()).elapsed_s;
                             let (bytes, t) = self.gpu.download(out);
                             recovered_host.push(bytes);
-                            pipeline.record(
-                                format!("pcie: segment {seg} download"),
-                                t.seconds,
-                            );
+                            pipeline.record(format!("pcie: segment {seg} download"), t.seconds);
                         }
                     }
                     Fidelity::Timing => {
@@ -779,6 +790,18 @@ impl GpuMultiDecoder {
         }
     }
 
+    /// Enables the kernel sanitizer on the underlying device. Functional
+    /// decodes are checked; sampled measurement launches are never
+    /// sanitized.
+    pub fn enable_sanitizer(&mut self, config: SanitizerConfig) {
+        self.gpu.enable_sanitizer(config);
+    }
+
+    /// The accumulated sanitizer report, if the sanitizer is enabled.
+    pub fn sanitizer_report(&self) -> Option<&SanitizerReport> {
+        self.gpu.sanitizer_report()
+    }
+
     /// The device specification.
     pub fn spec(&self) -> &DeviceSpec {
         &self.spec
@@ -790,11 +813,7 @@ mod tests {
     use super::*;
     use nc_rlnc::{Decoder, Encoder};
 
-    fn random_session(
-        n: usize,
-        k: usize,
-        seed: u64,
-    ) -> (Vec<u8>, Encoder, rand::rngs::StdRng) {
+    fn random_session(n: usize, k: usize, seed: u64) -> (Vec<u8>, Encoder, rand::rngs::StdRng) {
         let config = CodingConfig::new(n, k).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let data: Vec<u8> = (0..config.segment_bytes()).map(|_| rng.gen()).collect();
@@ -878,6 +897,7 @@ mod tests {
             inputs.push(ts.blocks().to_vec());
         }
         let mut dec = GpuMultiDecoder::new(DeviceSpec::gtx280());
+        dec.enable_sanitizer(SanitizerConfig::correctness_only());
         let outcome = dec.decode(config, &inputs);
         let recovered = outcome.recovered.unwrap();
         assert_eq!(recovered.len(), 4);
@@ -885,6 +905,8 @@ mod tests {
             assert_eq!(got, want);
         }
         assert!(outcome.stage1_share > 0.0 && outcome.stage1_share < 1.0);
+        let report = dec.sanitizer_report().unwrap();
+        assert!(report.is_clean(), "multi-decoder not sanitizer-clean:\n{}", report.render());
     }
 
     #[test]

@@ -56,7 +56,7 @@ impl InvertKernel {
 
 impl Kernel for InvertKernel {
     fn run_block(&self, ctx: &mut BlockCtx<'_>) {
-        assert!(self.n % 4 == 0);
+        assert!(self.n.is_multiple_of(4));
         let s = ctx.block_idx;
         let ws = ctx.spec().warp_size;
         let n = self.n;
@@ -83,10 +83,7 @@ impl Kernel for InvertKernel {
                 ctx.ld_global_u8(&addrs[..lanes], &mut bytes[..lanes]);
                 ctx.alu(costs::PIVOT_SCAN_ALU_PER_WORD);
                 if pivot_row.is_none() {
-                    pivot_row = bytes[..lanes]
-                        .iter()
-                        .position(|&b| b != 0)
-                        .map(|off| chunk + off);
+                    pivot_row = bytes[..lanes].iter().position(|&b| b != 0).map(|off| chunk + off);
                 }
                 if pivot_row.is_some() {
                     break;
@@ -216,7 +213,7 @@ impl RecoverKernel {
 
 impl Kernel for RecoverKernel {
     fn run_block(&self, ctx: &mut BlockCtx<'_>) {
-        assert!(self.n % 4 == 0 && self.k % 4 == 0);
+        assert!(self.n.is_multiple_of(4) && self.k.is_multiple_of(4));
         let kw = self.k / 4;
         let words_per_seg = self.n * kw;
         let total = self.segments * words_per_seg;
@@ -232,6 +229,7 @@ impl Kernel for RecoverKernel {
         let mut coeff_words = [0u32; 32];
 
         for warp in 0..ctx.warps() {
+            ctx.at_warp(warp);
             let base = ctx.block_idx * bt + warp * ws;
             let lanes = ctx.lanes_in_warp(warp).min(total.saturating_sub(base));
             if lanes == 0 {
@@ -263,9 +261,8 @@ impl Kernel for RecoverKernel {
                 ctx.alu(costs::COEFF_EXTRACT);
 
                 for lane in 0..lanes {
-                    addrs[lane] = self
-                        .coded
-                        .addr((lane_seg[lane] * self.n + i) * self.k + lane_w[lane] * 4);
+                    addrs[lane] =
+                        self.coded.addr((lane_seg[lane] * self.n + i) * self.k + lane_w[lane] * 4);
                 }
                 ctx.ld_global_u32(&addrs[..lanes], &mut vals[..lanes]);
 
@@ -357,8 +354,7 @@ mod tests {
 
         for s in 0..segments {
             let a = GfMatrix::from_flat(n, n, hinv[s * n * n..(s + 1) * n * n].to_vec()).unwrap();
-            let x =
-                GfMatrix::from_flat(n, k, hcoded[s * n * k..(s + 1) * n * k].to_vec()).unwrap();
+            let x = GfMatrix::from_flat(n, k, hcoded[s * n * k..(s + 1) * n * k].to_vec()).unwrap();
             let want = a.mul(&x).unwrap();
             assert_eq!(&got[s * n * k..(s + 1) * n * k], want.as_flat(), "segment {s}");
         }

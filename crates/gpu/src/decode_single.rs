@@ -26,6 +26,10 @@ use crate::costs;
 /// all-zero coefficients (linearly dependent).
 pub const NO_PIVOT: u32 = u32::MAX;
 
+/// Shared-memory bytes reserved for the pivot-search scratch, kept disjoint
+/// from the coefficient cache so scratch writes cannot corrupt cached rows.
+pub const PIVOT_SCRATCH_BYTES: usize = 128;
+
 /// Tuning switches for the progressive decoder (Sec. 5.4).
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct DecodeOptions {
@@ -79,10 +83,12 @@ impl DecodeStepKernel {
 
     /// Launch geometry: one thread per word of `[C_s | x_s]`, one block
     /// per SM; the coefficient cache claims as much shared memory as the
-    /// device can give (at n = 128 the full matrix is 16,384 B against the
-    /// 16 KiB SM minus launch bookkeeping, so the last row stays uncached —
-    /// the squeeze the paper describes as "a number of creative
-    /// techniques").
+    /// device can give after the pivot scratch (at n = 128 the full matrix
+    /// is 16,384 B against the 16 KiB SM minus launch bookkeeping, so the
+    /// last rows stay uncached — the squeeze the paper describes as "a
+    /// number of creative techniques"). The [`PIVOT_SCRATCH_BYTES`] scratch
+    /// region sits *after* the cache; giving it its own bytes keeps the
+    /// pivot-search stores from clobbering row 0's cached coefficients.
     ///
     /// # Panics
     ///
@@ -92,10 +98,11 @@ impl DecodeStepKernel {
         let threads = self.row_stride_words();
         assert!(threads <= 512, "row of {threads} words exceeds one thread block");
         let shared = if self.options.cache_coefficients {
-            let rows_that_fit = (spec.shared_mem_usable() / self.n).min(self.n);
-            (rows_that_fit * self.n).max(128)
+            let usable = spec.shared_mem_usable() - PIVOT_SCRATCH_BYTES;
+            let rows_that_fit = (usable / self.n).min(self.n);
+            rows_that_fit * self.n + PIVOT_SCRATCH_BYTES
         } else {
-            128 // pivot-search scratch
+            PIVOT_SCRATCH_BYTES // pivot-search scratch only
         };
         GridConfig { blocks: self.sm_blocks, threads_per_block: threads, shared_bytes: shared }
     }
@@ -109,7 +116,7 @@ impl DecodeStepKernel {
 
 impl Kernel for DecodeStepKernel {
     fn run_block(&self, ctx: &mut BlockCtx<'_>) {
-        assert!(self.n % 4 == 0 && self.k % 4 == 0);
+        assert!(self.n.is_multiple_of(4) && self.k.is_multiple_of(4));
         assert_eq!(self.pivot_cols.len(), self.rank, "pivot list out of sync");
         let s = ctx.block_idx;
         let ws = ctx.spec().warp_size;
@@ -123,13 +130,16 @@ impl Kernel for DecodeStepKernel {
         let stride = self.row_stride_words();
         let cache = self.options.cache_coefficients;
         // Rows whose private coefficient copy fits the shared-memory cache
-        // (all of them for n < 128; one short at exactly n = 128).
-        let cached_rows = if cache { (ctx.shared_slice().len() / n).min(n) } else { 0 };
+        // (all of them for small n; a few short at exactly n = 128). The
+        // pivot scratch lives after the cache region.
+        let shared_len = ctx.shared_slice().len();
+        let cached_rows =
+            if cache { (shared_len.saturating_sub(PIVOT_SCRATCH_BYTES) / n).min(n) } else { 0 };
+        let scratch_base = shared_len - PIVOT_SCRATCH_BYTES;
 
         let row_addr =
             |row: usize, word: usize| self.rows.addr(((s * n + row) * stride + word) * 4);
-        let coeff_byte =
-            |w: &[u32], col: usize| -> u8 { (w[col / 4] >> ((col % 4) * 8)) as u8 };
+        let coeff_byte = |w: &[u32], col: usize| -> u8 { (w[col / 4] >> ((col % 4) * 8)) as u8 };
 
         let mut addrs = [0u64; 32];
         let mut saddrs = [0u64; 32];
@@ -140,6 +150,7 @@ impl Kernel for DecodeStepKernel {
         if cache {
             for e in 0..self.rank.min(cached_rows) {
                 for base in (0..coeff_words).step_by(ws) {
+                    ctx.at_warp(base / ws);
                     let lanes = (coeff_words - base).min(ws);
                     for lane in 0..lanes {
                         addrs[lane] = row_addr(e, base + lane);
@@ -156,6 +167,7 @@ impl Kernel for DecodeStepKernel {
         // ---- Load the incoming row into registers (one word per thread).
         let mut working = vec![0u32; row_words];
         for base in (0..row_words).step_by(ws) {
+            ctx.at_warp(base / ws);
             let lanes = (row_words - base).min(ws);
             for lane in 0..lanes {
                 let t = base + lane;
@@ -179,6 +191,7 @@ impl Kernel for DecodeStepKernel {
                 continue;
             }
             for base in (0..row_words).step_by(ws) {
+                ctx.at_warp(base / ws);
                 let lanes = (row_words - base).min(ws);
                 let all_coeff = base + lanes <= coeff_words;
                 for lane in 0..lanes {
@@ -209,24 +222,29 @@ impl Kernel for DecodeStepKernel {
         ctx.alu(scan_warps * costs::PIVOT_SCAN_ALU_PER_WORD);
         if self.options.use_atomic_min && ctx.spec().has_shared_atomics {
             // Every coefficient-owning warp reports its leading non-zero
-            // through one shared-memory atomicMin (Sec. 5.4.2).
+            // through one shared-memory atomicMin (Sec. 5.4.2). The scratch
+            // word is initialized by thread 0, then a barrier orders that
+            // plain store against the other warps' atomics.
             let proposals: Vec<u32> = (0..ws.min(coeff_words))
                 .map(|t| match pivot {
                     Some(p) if p / 4 == t => p as u32,
                     _ => NO_PIVOT,
                 })
                 .collect();
-            ctx.st_shared_u32(&[0], &[NO_PIVOT]);
-            ctx.atomic_min_shared_u32(0, &proposals);
+            ctx.at_warp(0);
+            ctx.st_shared_u32(&[scratch_base as u64], &[NO_PIVOT]);
+            ctx.sync();
+            ctx.atomic_min_shared_u32(scratch_base as u32, &proposals);
             ctx.sync();
         } else {
             // Log-step min-reduction tree through shared memory.
+            ctx.at_warp(0);
             let mut width = coeff_words.max(1);
             while width > 1 {
                 let half = width.div_ceil(2);
                 let lanes = (width - half).min(ws).max(1);
                 for lane in 0..lanes {
-                    saddrs[lane] = (lane * 4) as u64;
+                    saddrs[lane] = (scratch_base + lane * 4) as u64;
                 }
                 ctx.alu(2);
                 ctx.st_shared_u32(&saddrs[..lanes], &vec![0u32; lanes]);
@@ -263,22 +281,26 @@ impl Kernel for DecodeStepKernel {
         // ---- Phase 4: Jordan step — eliminate the new pivot column from
         // every absorbed row.
         for e in 0..self.rank {
-            let factor_addr = row_addr(e, pivot_col / 4);
             let factor_word = if cache && e < cached_rows {
-                let saddr = ((e * coeff_words + pivot_col / 4) * 4) as u64;
-                ctx.ld_shared_u32(&[saddr], &mut [0u32]);
-                ctx.peek_global_u32(factor_addr)
+                // Every thread needs this factor, and the elimination below
+                // overwrites the very word it lives in: broadcast-read it
+                // warp by warp, then barrier so no warp's write-through can
+                // overtake a lagging warp's read (cross-warp WAR hazard).
+                let saddr = ((e * coeff_words + pivot_col / 4) * 4) as u32;
+                ctx.ld_shared_u32_broadcast(saddr)
             } else {
                 let mut w = [0u32];
-                ctx.ld_global_u32(&[factor_addr], &mut w);
+                ctx.ld_global_u32(&[row_addr(e, pivot_col / 4)], &mut w);
                 w[0]
             };
+            ctx.sync();
             ctx.alu(costs::DECODE_ROW_SETUP);
             let factor = (factor_word >> ((pivot_col % 4) * 8)) as u8;
             if factor == 0 {
                 continue;
             }
             for base in (0..row_words).step_by(ws) {
+                ctx.at_warp(base / ws);
                 let lanes = (row_words - base).min(ws);
                 let all_coeff = base + lanes <= coeff_words;
                 for lane in 0..lanes {
@@ -309,6 +331,7 @@ impl Kernel for DecodeStepKernel {
 
         // ---- Phase 5: store the reduced row as row `rank`.
         for base in (0..row_words).step_by(ws) {
+            ctx.at_warp(base / ws);
             let lanes = (row_words - base).min(ws);
             for lane in 0..lanes {
                 addrs[lane] = row_addr(self.rank, base + lane);
@@ -376,7 +399,7 @@ mod tests {
     }
 
     #[test]
-    fn row_stride_covers_coefficients_and_partition(){
+    fn row_stride_covers_coefficients_and_partition() {
         let k = kernel(128, 4096);
         let _: DeviceBuffer = k.rows;
         assert_eq!(k.row_stride_words(), 32 + 35);

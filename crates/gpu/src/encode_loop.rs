@@ -108,8 +108,8 @@ impl LoopEncodeKernel {
     }
 
     fn check(&self) {
-        assert!(self.k % 4 == 0, "block size must be a multiple of 4 bytes");
-        assert!(self.n % 4 == 0, "generation size must be a multiple of 4");
+        assert!(self.k.is_multiple_of(4), "block size must be a multiple of 4 bytes");
+        assert!(self.n.is_multiple_of(4), "generation size must be a multiple of 4");
         assert!(self.m > 0 && self.n > 0 && self.k > 0);
     }
 }
@@ -135,10 +135,9 @@ impl Kernel for LoopEncodeKernel {
         let mut out_addrs = [0u64; 32];
 
         for warp in 0..ctx.warps() {
+            ctx.at_warp(warp);
             let base = ctx.block_idx * bt + warp * ctx.spec().warp_size;
-            let lanes = ctx
-                .lanes_in_warp(warp)
-                .min(total_words.saturating_sub(base));
+            let lanes = ctx.lanes_in_warp(warp).min(total_words.saturating_sub(base));
             if lanes == 0 {
                 continue;
             }
@@ -166,9 +165,7 @@ impl Kernel for LoopEncodeKernel {
                                 ctx.alu(1);
                                 dummy_word((j * self.n + i) as u64)
                             } else {
-                                ctx.ld_global_u32_broadcast(
-                                    self.coeffs.addr(j * self.n + i),
-                                )
+                                ctx.ld_global_u32_broadcast(self.coeffs.addr(j * self.n + i))
                             };
                             coeff_words[lane] = w;
                         } else {
@@ -230,9 +227,8 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let config = CodingConfig::new(n, k).unwrap();
         let data: Vec<u8> = (0..config.segment_bytes()).map(|_| rng.gen()).collect();
-        let coeff_rows: Vec<Vec<u8>> = (0..m)
-            .map(|_| (0..n).map(|_| rng.gen_range(1..=255)).collect())
-            .collect();
+        let coeff_rows: Vec<Vec<u8>> =
+            (0..m).map(|_| (0..n).map(|_| rng.gen_range(1..=255)).collect()).collect();
 
         let mut gpu = Gpu::new(DeviceSpec::gtx280());
         let source = gpu.alloc(n * k);

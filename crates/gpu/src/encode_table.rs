@@ -180,7 +180,10 @@ fn lookup_index(variant: TableVariant, lc: u8, ls: u8) -> Option<u64> {
 
 impl Kernel for TableEncodeKernel {
     fn run_block(&self, ctx: &mut BlockCtx<'_>) {
-        assert!(self.k % 4 == 0 && self.n % 4 == 0, "n and k must be multiples of 4");
+        assert!(
+            self.k.is_multiple_of(4) && self.n.is_multiple_of(4),
+            "n and k must be multiples of 4"
+        );
         let ws = ctx.spec().warp_size;
         let variant = self.variant;
 
@@ -192,6 +195,7 @@ impl Kernel for TableEncodeKernel {
                 let mut s = [0u64; 32];
                 let mut v = [0u32; 32];
                 for chunk_base in (0..TABLE_BYTES / 4).step_by(ws) {
+                    ctx.at_warp((chunk_base / ws) % ctx.warps());
                     let lanes = (TABLE_BYTES / 4 - chunk_base).min(ws);
                     for lane in 0..lanes {
                         g[lane] = self.tables.addr((chunk_base + lane) * 4);
@@ -213,6 +217,7 @@ impl Kernel for TableEncodeKernel {
                 let mut bytes4 = [0u32; 32];
                 let replicas = self.tb5_replicas;
                 for chunk_base in (0..TB5_ENTRIES.div_ceil(4)).step_by(ws) {
+                    ctx.at_warp((chunk_base / ws) % ctx.warps());
                     let lanes = (TB5_ENTRIES.div_ceil(4) - chunk_base).min(ws);
                     for lane in 0..lanes {
                         g[lane] = self.tables.addr(((chunk_base + lane) * 4).min(TABLE_BYTES - 4));
@@ -266,6 +271,7 @@ impl Kernel for TableEncodeKernel {
         let mut chunk = start;
         while chunk < end {
             for warp in 0..ctx.warps() {
+                ctx.at_warp(warp);
                 let base = chunk + warp * ws;
                 if base >= end {
                     break;
@@ -287,8 +293,8 @@ impl Kernel for TableEncodeKernel {
                             let j = lane_j[lane];
                             if j != prev_j {
                                 prev_j = j;
-                                coeff_words[lane] = ctx
-                                    .ld_global_u32_broadcast(self.coeffs.addr(j * self.n + i));
+                                coeff_words[lane] =
+                                    ctx.ld_global_u32_broadcast(self.coeffs.addr(j * self.n + i));
                             } else {
                                 coeff_words[lane] = coeff_words[lane - 1];
                             }
@@ -309,18 +315,14 @@ impl Kernel for TableEncodeKernel {
 
                     match variant {
                         TableVariant::Tb2 => ctx.alu(costs::TB2_ALU_PER_WORD),
-                        TableVariant::Tb3 | TableVariant::Tb4 => {
-                            ctx.alu(costs::TB3_ALU_PER_WORD)
-                        }
+                        TableVariant::Tb3 | TableVariant::Tb4 => ctx.alu(costs::TB3_ALU_PER_WORD),
                         TableVariant::Tb5 => ctx.alu(costs::TB5_ALU_PER_WORD),
                         _ => {}
                     }
 
                     match variant {
                         TableVariant::Tb0 => {
-                            self.tb0_byte_mults(
-                                ctx, i, lanes, &coeff_words, &src_words, &mut acc,
-                            );
+                            self.tb0_byte_mults(ctx, i, lanes, &coeff_words, &src_words, &mut acc);
                         }
                         _ => {
                             // Per byte position: gather the lanes whose
@@ -499,9 +501,8 @@ mod tests {
         let config = CodingConfig::new(n, k).unwrap();
         // Random data *including zero bytes* to exercise the sentinels.
         let data: Vec<u8> = (0..config.segment_bytes()).map(|_| rng.gen()).collect();
-        let coeff_rows: Vec<Vec<u8>> = (0..m)
-            .map(|_| (0..n).map(|_| rng.gen_range(1..=255)).collect())
-            .collect();
+        let coeff_rows: Vec<Vec<u8>> =
+            (0..m).map(|_| (0..n).map(|_| rng.gen_range(1..=255)).collect()).collect();
 
         let mut gpu = Gpu::new(DeviceSpec::gtx280());
         let sm_blocks = gpu.spec().sm_count;

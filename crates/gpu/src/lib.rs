@@ -35,6 +35,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Warp-vectorized kernels build several parallel per-lane vectors (global
+// addresses, shared addresses, values) in one `for lane` loop; rewriting
+// them as iterator zips would hide the lane structure the kernels mirror.
+#![allow(clippy::needless_range_loop)]
 
 pub mod ablation;
 pub mod api;

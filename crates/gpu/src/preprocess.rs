@@ -72,7 +72,7 @@ impl LogTransformKernel {
 
 impl Kernel for LogTransformKernel {
     fn run_block(&self, ctx: &mut BlockCtx<'_>) {
-        assert!(self.len % 4 == 0, "preprocess length must be a multiple of 4");
+        assert!(self.len.is_multiple_of(4), "preprocess length must be a multiple of 4");
         let words = self.len / 4;
         let bt = ctx.block_threads;
         let ws = ctx.spec().warp_size;
@@ -84,6 +84,7 @@ impl Kernel for LogTransformKernel {
         let mut s_addrs = [0u64; 32];
         let mut vals = [0u32; 32];
         for warp in 0..ctx.warps() {
+            ctx.at_warp(warp);
             let base = warp * ws;
             if base >= table_words {
                 break;
@@ -104,6 +105,7 @@ impl Kernel for LogTransformKernel {
         let mut lut_addrs = [0u64; 32];
         let mut lut_out = [0u8; 32];
         for warp in 0..ctx.warps() {
+            ctx.at_warp(warp);
             let base = ctx.block_idx * bt + warp * ws;
             let lanes = ctx.lanes_in_warp(warp).min(words.saturating_sub(base));
             if lanes == 0 {

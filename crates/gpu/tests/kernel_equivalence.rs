@@ -1,11 +1,15 @@
 //! Property-based equivalence: for random configurations and data, every
 //! GPU encoding scheme must produce byte-identical output to the CPU
 //! reference, and the GPU decoders must recover it.
+//!
+//! The whole suite runs under the kernel sanitizer (memcheck + racecheck):
+//! besides byte equality, every launch of every shipped kernel must be
+//! free of correctness diagnostics at every random configuration.
 
 use nc_gpu::api::EncodeScheme;
 use nc_gpu::decode_single::DecodeOptions;
 use nc_gpu::{Fidelity, GpuEncoder, GpuProgressiveDecoder, TableVariant};
-use nc_gpu_sim::DeviceSpec;
+use nc_gpu_sim::{DeviceSpec, SanitizerConfig};
 use nc_rlnc::{CodingConfig, Decoder, Encoder, Segment};
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
@@ -38,6 +42,7 @@ proptest! {
             i => EncodeScheme::Table(TableVariant::ALL[i - 1]),
         };
         let mut gpu = GpuEncoder::new(DeviceSpec::gtx280(), scheme);
+        gpu.enable_sanitizer(SanitizerConfig::correctness_only());
         let (blocks, _) = gpu.encode_blocks(&segment, &coeffs);
         for (j, b) in blocks.iter().enumerate() {
             let want = reference
@@ -45,6 +50,12 @@ proptest! {
                 .expect("row length n");
             prop_assert_eq!(b.payload(), want.payload(), "{:?} block {}", scheme, j);
         }
+        let report = gpu.sanitizer_report().expect("sanitizer enabled");
+        prop_assert!(
+            report.is_clean(),
+            "{:?} n={} k={} not sanitizer-clean:\n{}",
+            scheme, n, k, report.render()
+        );
     }
 
     #[test]
@@ -65,6 +76,7 @@ proptest! {
             DecodeOptions { use_atomic_min: atomic, cache_coefficients: cache },
             Fidelity::Functional,
         );
+        gpu.enable_sanitizer(SanitizerConfig::correctness_only());
         let mut cpu = Decoder::new(config);
         let mut guard = 0;
         while !gpu.is_complete() {
@@ -77,6 +89,12 @@ proptest! {
         }
         prop_assert_eq!(gpu.recover().expect("complete"), data.clone());
         prop_assert_eq!(cpu.recover().expect("complete"), data);
+        let report = gpu.sanitizer_report().expect("sanitizer enabled");
+        prop_assert!(
+            report.is_clean(),
+            "decoder (atomic={} cache={}) n={} k={} not sanitizer-clean:\n{}",
+            atomic, cache, n, k, report.render()
+        );
     }
 
     #[test]

@@ -136,9 +136,7 @@ impl SwarmSim {
             .collect();
         let encoders: Vec<Encoder> = sources
             .iter()
-            .map(|data| {
-                Encoder::new(Segment::from_bytes(coding, data.clone()).expect("sized"))
-            })
+            .map(|data| Encoder::new(Segment::from_bytes(coding, data.clone()).expect("sized")))
             .collect();
 
         let mut states: Vec<PeerState> = (0..nodes)
@@ -189,9 +187,8 @@ impl SwarmSim {
                 Event::Arrival { to, segment, block } => {
                     received += 1;
                     let state = &mut states[to];
-                    let innovative = state.decoders[segment]
-                        .push(block.clone())
-                        .expect("well-formed block");
+                    let innovative =
+                        state.decoders[segment].push(block.clone()).expect("well-formed block");
                     if !innovative {
                         dependent += 1;
                     } else {
@@ -224,10 +221,8 @@ impl SwarmSim {
             }
         }
 
-        let completion_s = states[1..]
-            .iter()
-            .map(|s| s.completed_at.map(|t| t as f64 / 1e6))
-            .collect::<Vec<_>>();
+        let completion_s =
+            states[1..].iter().map(|s| s.completed_at.map(|t| t as f64 / 1e6)).collect::<Vec<_>>();
         SwarmReport {
             completed_peers: completion_s.iter().flatten().count(),
             total_peers: peers,
@@ -261,14 +256,12 @@ impl SwarmSim {
                 if my_rank == 0 {
                     continue;
                 }
-                let loss_headroom =
-                    1.0 / (1.0 - self.config.loss_rate.clamp(0.0, 0.9)) + 0.25;
+                let loss_headroom = 1.0 / (1.0 - self.config.loss_rate.clamp(0.0, 0.9)) + 0.25;
                 let credit = if self.config.recode {
-                    ((my_rank.min(n + 2 - states[t].decoders[s].rank())) as f64
-                        * loss_headroom) as usize
+                    ((my_rank.min(n + 2 - states[t].decoders[s].rank())) as f64 * loss_headroom)
+                        as usize
                 } else {
-                    (4.0
-                        * states[node].stored[s].len().max(if node == 0 { n } else { 0 }) as f64
+                    (4.0 * states[node].stored[s].len().max(if node == 0 { n } else { 0 }) as f64
                         * loss_headroom) as usize
                 };
                 let spent = states[node].sent.get(&(t, s)).copied().unwrap_or(0);
@@ -285,9 +278,7 @@ impl SwarmSim {
         } else if self.config.recode {
             states[node].recoders[segment].recode(&mut self.rng)?
         } else {
-            states[node].stored[segment]
-                .choose(&mut self.rng)
-                .cloned()?
+            states[node].stored[segment].choose(&mut self.rng).cloned()?
         };
         Some((target, segment, block))
     }

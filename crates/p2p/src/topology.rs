@@ -41,11 +41,11 @@ impl Topology {
             prev = node;
         }
         // Random extra edges up to the requested degree.
-        for node in 0..nodes {
-            while neighbors[node].len() < degree.min(nodes - 1) {
+        for (node, nbrs) in neighbors.iter_mut().enumerate() {
+            while nbrs.len() < degree.min(nodes - 1) {
                 let candidate = rng.gen_range(0..nodes);
-                if candidate != node && !neighbors[node].contains(&candidate) {
-                    neighbors[node].push(candidate);
+                if candidate != node && !nbrs.contains(&candidate) {
+                    nbrs.push(candidate);
                 }
             }
         }
@@ -61,8 +61,8 @@ impl Topology {
         assert!(peers > 0);
         let nodes = peers + 1;
         let mut neighbors: Vec<Vec<usize>> = vec![Vec::new(); nodes];
-        for node in 0..nodes - 1 {
-            neighbors[node].push(node + 1);
+        for (node, nbrs) in neighbors.iter_mut().enumerate().take(nodes - 1) {
+            nbrs.push(node + 1);
         }
         let mut upload_bps = vec![peer_upload_bps; nodes];
         upload_bps[0] = seed_upload_bps;

@@ -27,18 +27,13 @@ impl GpuBackend {
     /// A GTX 280 running the paper's best scheme (Table-based-5).
     pub fn gtx280_best() -> GpuBackend {
         GpuBackend {
-            encoder: GpuEncoder::new(
-                DeviceSpec::gtx280(),
-                EncodeScheme::Table(TableVariant::Tb5),
-            ),
+            encoder: GpuEncoder::new(DeviceSpec::gtx280(), EncodeScheme::Table(TableVariant::Tb5)),
         }
     }
 
     /// A GTX 280 running the loop-based scheme of Sec. 4.
     pub fn gtx280_loop_based() -> GpuBackend {
-        GpuBackend {
-            encoder: GpuEncoder::new(DeviceSpec::gtx280(), EncodeScheme::LoopBased),
-        }
+        GpuBackend { encoder: GpuEncoder::new(DeviceSpec::gtx280(), EncodeScheme::LoopBased) }
     }
 
     /// Any device/scheme combination.
@@ -53,9 +48,7 @@ impl CodingBackend for GpuBackend {
     }
 
     fn encoding_rate(&mut self, config: CodingConfig) -> f64 {
-        self.encoder
-            .measure(config.blocks(), config.block_size(), config.blocks(), 7)
-            .rate
+        self.encoder.measure(config.blocks(), config.block_size(), config.blocks(), 7).rate
     }
 }
 

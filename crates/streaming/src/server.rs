@@ -281,7 +281,7 @@ mod tests {
             Nic::gigabit(),
             ServiceMode::Live,
         );
-        let id = server.ingest_segment(&vec![7u8; 100]).unwrap();
+        let id = server.ingest_segment(&[7u8; 100]).unwrap();
         assert_eq!(id, 0);
         assert_eq!(server.segment_count(), 1);
         assert!(server.ingest_segment(&vec![0u8; 1 << 20]).is_err());

@@ -40,13 +40,8 @@ fn main() -> Result<(), Error> {
 
     // --- Run the server for a minute of service. -------------------------
     let mut gpu = GpuBackend::gtx280_best();
-    let mut server = StreamingServer::new(
-        &mut gpu,
-        config,
-        profile,
-        Nic::gigabit_bonded(2),
-        ServiceMode::Live,
-    );
+    let mut server =
+        StreamingServer::new(&mut gpu, config, profile, Nic::gigabit_bonded(2), ServiceMode::Live);
     let mut rng = rand::rngs::StdRng::seed_from_u64(51);
     let media: Vec<u8> = (0..config.segment_bytes()).map(|_| rng.gen()).collect();
     server.ingest_segment(&media)?;

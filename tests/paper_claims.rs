@@ -89,14 +89,10 @@ fn multi_segment_decoding_gains_2_7_to_27_6() {
     for k in [512usize, 4096, 16384] {
         let config = CodingConfig::new(128, k).expect("valid");
         let multi = dec.measure(config, 60, 2).rate;
-        let single =
-            gpu_decode_single_rate(DeviceSpec::gtx280(), 128, k, DecodeOptions::default());
+        let single = gpu_decode_single_rate(DeviceSpec::gtx280(), 128, k, DecodeOptions::default());
         gains.push(multi / single);
     }
-    assert!(
-        gains.windows(2).all(|w| w[0] >= w[1] * 0.8),
-        "gains should shrink with k: {gains:?}"
-    );
+    assert!(gains.windows(2).all(|w| w[0] >= w[1] * 0.8), "gains should shrink with k: {gains:?}");
     for g in &gains {
         assert!((2.0..40.0).contains(g), "gain {g} outside the paper's 2.7..27.6 band");
     }

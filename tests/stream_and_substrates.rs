@@ -74,8 +74,7 @@ fn capacity_planner_agrees_with_server_behaviour() {
 
     // …and 10% beyond it, someone must starve.
     let mut backend2 = Fixed(rate);
-    let mut server2 =
-        StreamingServer::new(&mut backend2, config, profile, nic, ServiceMode::Live);
+    let mut server2 = StreamingServer::new(&mut backend2, config, profile, nic, ServiceMode::Live);
     server2.add_peers(servable + servable / 10 + 1);
     let tick2 = server2.tick(1.0);
     assert!(tick2.underserved_peers > 0, "oversubscription must show");

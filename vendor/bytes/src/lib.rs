@@ -1,0 +1,114 @@
+//! Minimal, API-compatible shim of `bytes` for offline builds: an
+//! [`Bytes`] immutable buffer backed by `Arc<[u8]>` — cheap clones,
+//! slice-like reads. Sub-slicing (`slice`) copies, unlike upstream's
+//! zero-copy views; the workspace never sub-slices.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable immutable byte buffer.
+#[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Copies `data` into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes { data: data.into() }
+    }
+
+    /// Buffer length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// A new buffer holding a copy of the given range.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes { data: self.data[range].into() }
+    }
+
+    /// The contents as a plain slice.
+    pub fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.data.len())
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes { data: v.into() }
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Bytes {
+    fn from(v: [u8; N]) -> Bytes {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<Bytes> for Vec<u8> {
+    fn from(b: Bytes) -> Vec<u8> {
+        b.data.to_vec()
+    }
+}
+
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = std::vec::IntoIter<u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.to_vec().into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Bytes;
+
+    #[test]
+    fn roundtrips_and_derefs() {
+        let b: Bytes = vec![1u8, 2, 3, 4].into();
+        assert_eq!(b.len(), 4);
+        assert_eq!(&b[1..3], &[2, 3]);
+        assert_eq!(b.slice(0..2), Bytes::copy_from_slice(&[1, 2]));
+        let clone = b.clone();
+        assert_eq!(Vec::from(clone), vec![1, 2, 3, 4]);
+        assert!(!b.is_empty());
+    }
+}

@@ -1,0 +1,68 @@
+//! Minimal, API-compatible shim of `crossbeam` for offline builds.
+//!
+//! Provides [`scope`] on top of `std::thread::scope` (stable since Rust
+//! 1.63), which covers this workspace's only crossbeam usage: spawning
+//! borrowed worker closures with `scope.spawn(move |_| ...)`.
+
+#![forbid(unsafe_code)]
+
+use std::any::Any;
+
+/// Scope handle passed to [`scope`]'s closure; spawn borrowed threads
+/// through it.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Argument handed to each spawned closure. Upstream passes the scope
+/// itself for nested spawns; this shim passes an inert token (every caller
+/// here ignores it with `|_|`).
+pub struct ScopeArg(());
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; the closure receives a [`ScopeArg`] token.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&ScopeArg) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(&ScopeArg(())))
+    }
+}
+
+/// Creates a scope for spawning threads that borrow from the caller's
+/// stack. All spawned threads are joined before `scope` returns. The
+/// `Result` mirrors crossbeam's signature; this shim always returns `Ok`
+/// (a panicking child propagates the panic, as upstream does once the
+/// result is unwrapped).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// Mirror of `crossbeam::thread` re-exporting the same scope API.
+pub mod thread {
+    pub use super::{scope, Scope, ScopeArg};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let mut data = vec![1u32, 2, 3, 4];
+        let sum_before: u32 = data.iter().sum();
+        super::scope(|scope| {
+            for chunk in data.chunks_mut(2) {
+                scope.spawn(move |_| {
+                    for x in chunk {
+                        *x *= 10;
+                    }
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(data.iter().sum::<u32>(), sum_before * 10);
+    }
+}

@@ -1,0 +1,30 @@
+//! Marker-trait shim of `serde` for offline builds.
+//!
+//! Nothing in this workspace serializes at runtime — the derives exist so
+//! public types advertise serializability and signatures stay stable. The
+//! traits here are satisfied by every type via blanket impls, and the
+//! re-exported derive macros (from the shim `serde_derive`) expand to
+//! nothing.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all
+/// types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirror of `serde::de` far enough for `DeserializeOwned` imports.
+pub mod de {
+    pub use super::DeserializeOwned;
+}

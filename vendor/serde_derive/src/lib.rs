@@ -1,0 +1,22 @@
+//! No-op derive macros standing in for `serde_derive` in offline builds.
+//!
+//! The shim `serde` crate blanket-implements its marker traits for every
+//! type, so these derives have nothing to generate — they exist only so
+//! `#[derive(Serialize, Deserialize)]` (and `#[serde(...)]` attributes)
+//! parse exactly as with the real crate.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and generates nothing; the shim `serde`
+/// crate's blanket impl already covers the type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and generates nothing; the shim `serde`
+/// crate's blanket impl already covers the type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
