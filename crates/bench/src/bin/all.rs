@@ -12,6 +12,7 @@ fn main() {
         ("fig8", nc_bench::report::fig8()),
         ("fig9", nc_bench::report::fig9()),
         ("fig10", nc_bench::report::fig10()),
+        ("host_simd", nc_bench::report::host_simd()),
         ("misc", nc_bench::report::misc()),
         ("ablation", nc_bench::report::ablations()),
         ("streaming_capacity", nc_bench::report::streaming_capacity()),

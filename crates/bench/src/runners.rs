@@ -3,7 +3,9 @@
 //! Runners are shared between the per-figure binaries and the `all`
 //! binary, and exercised by smoke tests at reduced grids.
 
+use nc_cpu::{measure, Partitioning};
 use nc_cpu_model::{CpuModel, EncodeStrategy};
+use nc_gf256::region::{self, Backend};
 use nc_gpu::api::EncodeScheme;
 use nc_gpu::decode_single::DecodeOptions;
 use nc_gpu::{Fidelity, GpuEncoder, GpuMultiDecoder, GpuProgressiveDecoder, TableVariant};
@@ -137,6 +139,53 @@ pub fn cpu_decode_multi_series(n: usize, ks: &[usize], label: impl Into<String>)
     series
 }
 
+/// Measured single-core GF(2^8) axpy bandwidth (MB/s) of one region
+/// backend on *this* host at region length `k` — the primitive every
+/// encode/decode inner loop reduces to, timed directly (the Criterion
+/// benches give the statistically careful version of the same numbers).
+pub fn gf_axpy_rate(backend: Backend, k: usize) -> f64 {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x51D0 + k as u64);
+    let src: Vec<u8> = (0..k).map(|_| rng.gen()).collect();
+    let mut dst: Vec<u8> = (0..k).map(|_| rng.gen()).collect();
+    // Calibrate the iteration count to ~20 ms of work, then time one batch.
+    let mut iters = 16usize;
+    loop {
+        let t0 = std::time::Instant::now();
+        for i in 0..iters {
+            region::mul_add_assign_with(backend, &mut dst, &src, (i as u8) | 1);
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        if dt >= 0.02 || iters >= 1 << 22 {
+            std::hint::black_box(&dst);
+            return (iters * k) as f64 / dt / (1024.0 * 1024.0);
+        }
+        iters *= 4;
+    }
+}
+
+/// Sweeps measured host encode bandwidth (MB/s) over block sizes for one
+/// GF backend and partitioning scheme — the live-hardware companion to
+/// [`cpu_encode_series`]'s modeled Mac Pro.
+pub fn host_encode_series(
+    backend: Backend,
+    n: usize,
+    ks: &[usize],
+    threads: usize,
+    partitioning: Partitioning,
+    label: impl Into<String>,
+) -> Series {
+    let mut series = Series::new(label);
+    for &k in ks {
+        // Enough coded blocks that thread startup amortizes, scaled down as
+        // regions grow so the sweep stays interactive.
+        let m = (n / 2).clamp(8, 64);
+        let rate =
+            measure::encode_throughput_with(backend, n, k, m, threads, partitioning, 40 + k as u64);
+        series.push(k, to_mb(rate));
+    }
+    series
+}
+
 /// One encode-rate measurement (MB/s) for a scheme at `(n, k)`.
 pub fn gpu_encode_rate(spec: DeviceSpec, scheme: EncodeScheme, n: usize, k: usize) -> f64 {
     let mut encoder = GpuEncoder::new(spec, scheme);
@@ -192,6 +241,17 @@ mod tests {
         assert_eq!(rates.points.len(), 1);
         let share = shares.points[0].1;
         assert!(share > 0.0 && share < 100.0);
+    }
+
+    #[test]
+    fn host_runners_measure_positive_rates() {
+        for backend in [Backend::Table, Backend::Simd] {
+            assert!(gf_axpy_rate(backend, 1024) > 0.0);
+        }
+        let s =
+            host_encode_series(Backend::Simd, 8, &[128, 256], 1, Partitioning::FullBlock, "host");
+        assert_eq!(s.points.len(), 2);
+        assert!(s.points.iter().all(|&(_, y)| y > 0.0));
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::block::CodedBlock;
 use crate::coeff::CoefficientRng;
 use crate::error::Error;
 use crate::segment::{CodingConfig, Segment};
-use nc_gf256::region;
+use nc_gf256::region::{self, Backend};
 use rand::Rng;
 
 /// Produces coded blocks from one source segment (the paper's Eq. 1:
@@ -30,17 +30,32 @@ use rand::Rng;
 pub struct Encoder {
     segment: Segment,
     coeff_rng: CoefficientRng,
+    backend: Backend,
 }
 
 impl Encoder {
-    /// Creates an encoder over `segment` drawing fully dense coefficients.
+    /// Creates an encoder over `segment` drawing fully dense coefficients,
+    /// using the auto-detected GF region backend.
     pub fn new(segment: Segment) -> Encoder {
-        Encoder { segment, coeff_rng: CoefficientRng::dense() }
+        Encoder { segment, coeff_rng: CoefficientRng::dense(), backend: Backend::default() }
     }
 
     /// Creates an encoder with a custom coefficient distribution.
     pub fn with_coefficients(segment: Segment, coeff_rng: CoefficientRng) -> Encoder {
-        Encoder { segment, coeff_rng }
+        Encoder { segment, coeff_rng, backend: Backend::default() }
+    }
+
+    /// Selects the GF(2^8) region backend used for the coding loop
+    /// (ablation; the default is the host's fastest).
+    pub fn with_backend(mut self, backend: Backend) -> Encoder {
+        self.backend = backend;
+        self
+    }
+
+    /// The GF(2^8) region backend this encoder codes with.
+    #[inline]
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// The coding configuration of the underlying segment.
@@ -98,10 +113,10 @@ impl Encoder {
 
     fn encode_with_coefficients_unchecked(&self, coefficients: Vec<u8>) -> CodedBlock {
         let k = self.config().block_size();
+        let n = coefficients.len();
         let mut payload = vec![0u8; k];
-        for (i, &c) in coefficients.iter().enumerate() {
-            region::mul_add_assign(&mut payload, self.segment.block(i), c);
-        }
+        let sources: Vec<&[u8]> = (0..n).map(|i| self.segment.block(i)).collect();
+        region::dot_assign_with(self.backend, &mut payload, &sources, &coefficients);
         CodedBlock::new(coefficients, payload)
     }
 }

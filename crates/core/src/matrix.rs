@@ -5,7 +5,7 @@
 //! the GPU kernels.
 
 use crate::error::Error;
-use nc_gf256::region;
+use nc_gf256::region::{self, Backend};
 use nc_gf256::scalar;
 use rand::Rng;
 
@@ -132,32 +132,48 @@ impl GfMatrix {
         &self.data
     }
 
-    /// Matrix product `self · rhs`.
+    /// Matrix product `self · rhs` with the default GF region backend.
     ///
     /// # Errors
     ///
     /// [`Error::DimensionMismatch`] unless `self.cols == rhs.rows`.
+    #[inline]
     pub fn mul(&self, rhs: &GfMatrix) -> Result<GfMatrix, Error> {
+        self.mul_with(Backend::default(), rhs)
+    }
+
+    /// Matrix product `self · rhs` with an explicit GF region backend.
+    ///
+    /// Each output row is one blocked dot product
+    /// ([`region::dot_assign_with`]): `out[i] ^= Σ_j a[i][j] · rhs[j]`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::DimensionMismatch`] unless `self.cols == rhs.rows`.
+    pub fn mul_with(&self, backend: Backend, rhs: &GfMatrix) -> Result<GfMatrix, Error> {
         if self.cols != rhs.rows {
             return Err(Error::DimensionMismatch { op: "matrix multiply" });
         }
         let mut out = GfMatrix::zeros(self.rows, rhs.cols);
+        let sources: Vec<&[u8]> = (0..rhs.rows).map(|j| rhs.row(j)).collect();
         for i in 0..self.rows {
-            // Row-times-matrix via region axpy: out[i] ^= a[i][j] * rhs[j].
-            let (before, from_i) = out.data.split_at_mut(i * rhs.cols);
-            let _ = before;
-            let out_row = &mut from_i[..rhs.cols];
-            for j in 0..self.cols {
-                let c = self.data[i * self.cols + j];
-                region::mul_add_assign(out_row, rhs.row(j), c);
-            }
+            let coeffs = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            region::dot_assign_with(backend, out_row, &sources, coeffs);
         }
         Ok(out)
     }
 
     /// Transforms the matrix in place to reduced row-echelon form via
-    /// Gauss-Jordan elimination and returns its rank.
+    /// Gauss-Jordan elimination (default backend) and returns its rank.
+    #[inline]
     pub fn gauss_jordan(&mut self) -> usize {
+        self.gauss_jordan_with(Backend::default())
+    }
+
+    /// Gauss-Jordan elimination to reduced row-echelon form with an
+    /// explicit GF region backend; returns the rank.
+    pub fn gauss_jordan_with(&mut self, backend: Backend) -> usize {
         let mut pivot_row = 0usize;
         for col in 0..self.cols {
             if pivot_row == self.rows {
@@ -173,7 +189,7 @@ impl GfMatrix {
             let pivot = self.data[pivot_row * self.cols + col];
             if pivot != 1 {
                 let inv = scalar::inv(pivot);
-                region::mul_assign(self.row_mut(pivot_row), inv);
+                region::mul_assign_with(backend, self.row_mut(pivot_row), inv);
             }
             // Eliminate the column from every other row (Jordan step).
             for r in 0..self.rows {
@@ -183,7 +199,7 @@ impl GfMatrix {
                 let factor = self.data[r * self.cols + col];
                 if factor != 0 {
                     let (pr, rr) = self.two_rows_mut(pivot_row, r);
-                    region::mul_add_assign(rr, pr, factor);
+                    region::mul_add_assign_with(backend, rr, pr, factor);
                 }
             }
             pivot_row += 1;
@@ -197,13 +213,24 @@ impl GfMatrix {
     }
 
     /// Inverts a square matrix via Gauss-Jordan elimination on `[C | I]` —
-    /// stage 1 of the paper's multi-segment decoding (Sec. 5.2).
+    /// stage 1 of the paper's multi-segment decoding (Sec. 5.2) — with the
+    /// default GF region backend.
     ///
     /// # Errors
     ///
     /// [`Error::DimensionMismatch`] for non-square inputs and
     /// [`Error::SingularMatrix`] when no inverse exists.
+    #[inline]
     pub fn invert(&self) -> Result<GfMatrix, Error> {
+        self.invert_with(Backend::default())
+    }
+
+    /// `[C | I]` inversion with an explicit GF region backend.
+    ///
+    /// # Errors
+    ///
+    /// As for [`GfMatrix::invert`].
+    pub fn invert_with(&self, backend: Backend) -> Result<GfMatrix, Error> {
         if self.rows != self.cols {
             return Err(Error::DimensionMismatch { op: "invert (non-square)" });
         }
@@ -214,7 +241,7 @@ impl GfMatrix {
             aug.row_mut(r)[..n].copy_from_slice(self.row(r));
             aug.row_mut(r)[n + r] = 1;
         }
-        aug.gauss_jordan();
+        aug.gauss_jordan_with(backend);
         // The augmented identity columns guarantee full *row* rank, so the
         // rank of [C | I] alone proves nothing. C is invertible iff the
         // left half reduced to the identity (every pivot fell in C).

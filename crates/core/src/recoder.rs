@@ -11,7 +11,7 @@
 use crate::block::CodedBlock;
 use crate::error::Error;
 use crate::segment::CodingConfig;
-use nc_gf256::region;
+use nc_gf256::region::{self, Backend};
 use rand::Rng;
 
 /// Buffers received coded blocks and emits random recombinations.
@@ -43,12 +43,27 @@ use rand::Rng;
 pub struct Recoder {
     config: CodingConfig,
     buffer: Vec<CodedBlock>,
+    backend: Backend,
 }
 
 impl Recoder {
-    /// Creates an empty recoder for one generation.
+    /// Creates an empty recoder for one generation, using the auto-detected
+    /// GF region backend.
     pub fn new(config: CodingConfig) -> Recoder {
-        Recoder { config, buffer: Vec::new() }
+        Recoder { config, buffer: Vec::new(), backend: Backend::default() }
+    }
+
+    /// Selects the GF(2^8) region backend used when recombining (ablation;
+    /// the default is the host's fastest).
+    pub fn with_backend(mut self, backend: Backend) -> Recoder {
+        self.backend = backend;
+        self
+    }
+
+    /// The GF(2^8) region backend this recoder combines with.
+    #[inline]
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// The recoder's coding configuration.
@@ -90,13 +105,14 @@ impl Recoder {
         let k = self.config.block_size();
         let mut coeffs = vec![0u8; n];
         let mut payload = vec![0u8; k];
-        for block in &self.buffer {
-            let w: u8 = rng.gen_range(1..=255);
-            // Composite coefficients and payload transform identically —
-            // that is precisely why recoding preserves decodability.
-            region::mul_add_assign(&mut coeffs, block.coefficients(), w);
-            region::mul_add_assign(&mut payload, block.payload(), w);
-        }
+        let weights: Vec<u8> = self.buffer.iter().map(|_| rng.gen_range(1..=255)).collect();
+        // Composite coefficients and payload transform identically — that
+        // is precisely why recoding preserves decodability. Both are one
+        // blocked dot product over the buffered blocks.
+        let coeff_rows: Vec<&[u8]> = self.buffer.iter().map(|b| b.coefficients()).collect();
+        let payload_rows: Vec<&[u8]> = self.buffer.iter().map(|b| b.payload()).collect();
+        region::dot_assign_with(self.backend, &mut coeffs, &coeff_rows, &weights);
+        region::dot_assign_with(self.backend, &mut payload, &payload_rows, &weights);
         Some(CodedBlock::new(coeffs, payload))
     }
 

@@ -17,6 +17,7 @@ use crate::block::CodedBlock;
 use crate::error::Error;
 use crate::matrix::GfMatrix;
 use crate::segment::CodingConfig;
+use nc_gf256::region::Backend;
 
 /// Collects `n` coded blocks, then decodes them in one shot via
 /// `[C | I]` inversion + matrix multiplication.
@@ -51,17 +52,33 @@ pub struct TwoStageDecoder {
     /// reject dependent blocks on arrival.
     rank_probe: GfMatrix,
     rank: usize,
+    backend: Backend,
 }
 
 impl TwoStageDecoder {
-    /// Creates an empty two-stage decoder.
+    /// Creates an empty two-stage decoder, using the auto-detected GF region
+    /// backend.
     pub fn new(config: CodingConfig) -> TwoStageDecoder {
         TwoStageDecoder {
             config,
             blocks: Vec::with_capacity(config.blocks()),
             rank_probe: GfMatrix::zeros(config.blocks(), config.blocks()),
             rank: 0,
+            backend: Backend::default(),
         }
+    }
+
+    /// Selects the GF(2^8) region backend used by both stages (ablation;
+    /// the default is the host's fastest).
+    pub fn with_backend(mut self, backend: Backend) -> TwoStageDecoder {
+        self.backend = backend;
+        self
+    }
+
+    /// The GF(2^8) region backend this decoder works with.
+    #[inline]
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// The decoder's coding configuration.
@@ -107,7 +124,7 @@ impl TwoStageDecoder {
             let factor = probe[lead];
             if factor != 0 {
                 let row = self.rank_probe.row(r).to_vec();
-                nc_gf256::region::mul_add_assign(&mut probe, &row, factor);
+                nc_gf256::region::mul_add_assign_with(self.backend, &mut probe, &row, factor);
             }
         }
         if probe.iter().all(|&c| c == 0) {
@@ -116,7 +133,7 @@ impl TwoStageDecoder {
         // Normalize the probe row for cheap future eliminations.
         let lead_pos = probe.iter().position(|&c| c != 0).expect("non-zero");
         let inv = nc_gf256::scalar::inv(probe[lead_pos]);
-        nc_gf256::region::mul_assign(&mut probe, inv);
+        nc_gf256::region::mul_assign_with(self.backend, &mut probe, inv);
         // Keep probe rows sorted by leading position (insertion sort step).
         let at = (0..self.rank)
             .find(|&r| {
@@ -151,11 +168,11 @@ impl TwoStageDecoder {
         // Stage 1: invert C.
         let coeff_rows: Vec<&[u8]> = self.blocks.iter().map(|b| b.coefficients()).collect();
         let c = GfMatrix::from_rows(&coeff_rows)?;
-        let c_inv = c.invert()?;
+        let c_inv = c.invert_with(self.backend)?;
         // Stage 2: b = C⁻¹ · x.
         let payload_rows: Vec<&[u8]> = self.blocks.iter().map(|b| b.payload()).collect();
         let x = GfMatrix::from_rows(&payload_rows)?;
-        let b = c_inv.mul(&x)?;
+        let b = c_inv.mul_with(self.backend, &x)?;
         Ok(b.as_flat().to_vec())
     }
 

@@ -6,6 +6,7 @@
 //! completion on its own segment — no cross-thread synchronization at all,
 //! which is why multi-segment decoding is also the better CPU scheme.
 
+use nc_gf256::region::Backend;
 use nc_rlnc::{CodedBlock, CodingConfig, Decoder, Error};
 
 /// Decodes batches of segments, one worker thread per segment at a time.
@@ -13,17 +14,32 @@ use nc_rlnc::{CodedBlock, CodingConfig, Decoder, Error};
 pub struct ParallelSegmentDecoder {
     config: CodingConfig,
     threads: usize,
+    backend: Backend,
 }
 
 impl ParallelSegmentDecoder {
-    /// Creates a decoder running at most `threads` segments concurrently.
+    /// Creates a decoder running at most `threads` segments concurrently,
+    /// using the auto-detected GF region backend in every worker.
     ///
     /// # Panics
     ///
     /// Panics if `threads == 0`.
     pub fn new(config: CodingConfig, threads: usize) -> ParallelSegmentDecoder {
         assert!(threads > 0, "at least one thread required");
-        ParallelSegmentDecoder { config, threads }
+        ParallelSegmentDecoder { config, threads, backend: Backend::default() }
+    }
+
+    /// Selects the GF(2^8) region backend used by each per-segment decoder
+    /// (ablation; the default is the host's fastest).
+    pub fn with_backend(mut self, backend: Backend) -> ParallelSegmentDecoder {
+        self.backend = backend;
+        self
+    }
+
+    /// The GF(2^8) region backend the per-segment decoders reduce with.
+    #[inline]
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// The coding configuration.
@@ -51,8 +67,9 @@ impl ParallelSegmentDecoder {
                 let mut handles = Vec::new();
                 for blocks in chunk_blocks {
                     let config = self.config;
+                    let backend = self.backend;
                     handles.push(scope.spawn(move |_| {
-                        let mut decoder = Decoder::new(config);
+                        let mut decoder = Decoder::new(config).with_backend(backend);
                         for b in blocks {
                             if decoder.is_complete() {
                                 break;

@@ -7,7 +7,8 @@
 //! per received block for the pivot search — the synchronization cost that
 //! makes small block sizes slow on every platform.
 
-use nc_gf256::{region, scalar};
+use nc_gf256::region::{self, Backend};
+use nc_gf256::scalar;
 use nc_rlnc::{CodedBlock, CodingConfig, Error};
 
 /// A progressive decoder whose row operations run on `threads` worker
@@ -21,17 +22,38 @@ pub struct ThreadedDecoder {
     /// RREF rows: `n + k` bytes each, coefficient part first.
     rows: Vec<Vec<u8>>,
     pivots: Vec<usize>,
+    backend: Backend,
 }
 
 impl ThreadedDecoder {
-    /// Creates a decoder running row operations on `threads` threads.
+    /// Creates a decoder running row operations on `threads` threads, using
+    /// the auto-detected GF region backend.
     ///
     /// # Panics
     ///
     /// Panics if `threads == 0`.
     pub fn new(config: CodingConfig, threads: usize) -> ThreadedDecoder {
         assert!(threads > 0, "at least one thread required");
-        ThreadedDecoder { config, threads, rows: Vec::new(), pivots: Vec::new() }
+        ThreadedDecoder {
+            config,
+            threads,
+            rows: Vec::new(),
+            pivots: Vec::new(),
+            backend: Backend::default(),
+        }
+    }
+
+    /// Selects the GF(2^8) region backend used inside each worker thread
+    /// (ablation; the default is the host's fastest).
+    pub fn with_backend(mut self, backend: Backend) -> ThreadedDecoder {
+        self.backend = backend;
+        self
+    }
+
+    /// The GF(2^8) region backend this decoder reduces with.
+    #[inline]
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// Current rank.
@@ -63,7 +85,7 @@ impl ThreadedDecoder {
         for (i, &pivot_col) in self.pivots.iter().enumerate() {
             let factor = row[pivot_col];
             if factor != 0 {
-                Self::axpy_threaded(self.threads, &mut row, &self.rows[i], factor);
+                Self::axpy_threaded(self.backend, self.threads, &mut row, &self.rows[i], factor);
             }
         }
 
@@ -74,7 +96,7 @@ impl ThreadedDecoder {
         let lead = row[pivot_col];
         if lead != 1 {
             let inv = scalar::inv(lead);
-            Self::scale_threaded(self.threads, &mut row, inv);
+            Self::scale_threaded(self.backend, self.threads, &mut row, inv);
         }
 
         // Jordan step into the existing rows, one row at a time, each
@@ -82,7 +104,7 @@ impl ThreadedDecoder {
         for existing in self.rows.iter_mut() {
             let factor = existing[pivot_col];
             if factor != 0 {
-                Self::axpy_threaded(self.threads, existing, &row, factor);
+                Self::axpy_threaded(self.backend, self.threads, existing, &row, factor);
             }
         }
 
@@ -106,22 +128,22 @@ impl ThreadedDecoder {
     }
 
     /// `dst ^= factor · src` with the byte range split across threads.
-    fn axpy_threaded(threads: usize, dst: &mut [u8], src: &[u8], factor: u8) {
+    fn axpy_threaded(backend: Backend, threads: usize, dst: &mut [u8], src: &[u8], factor: u8) {
         let chunk = dst.len().div_ceil(threads).max(64);
         crossbeam::scope(|scope| {
             for (d, s) in dst.chunks_mut(chunk).zip(src.chunks(chunk)) {
-                scope.spawn(move |_| region::mul_add_assign(d, s, factor));
+                scope.spawn(move |_| region::mul_add_assign_with(backend, d, s, factor));
             }
         })
         .expect("decoder thread panicked");
     }
 
     /// `dst = factor · dst`, threaded.
-    fn scale_threaded(threads: usize, dst: &mut [u8], factor: u8) {
+    fn scale_threaded(backend: Backend, threads: usize, dst: &mut [u8], factor: u8) {
         let chunk = dst.len().div_ceil(threads).max(64);
         crossbeam::scope(|scope| {
             for d in dst.chunks_mut(chunk) {
-                scope.spawn(move |_| region::mul_assign(d, factor));
+                scope.spawn(move |_| region::mul_assign_with(backend, d, factor));
             }
         })
         .expect("decoder thread panicked");

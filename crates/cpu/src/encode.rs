@@ -51,12 +51,18 @@ impl ParallelEncoder {
         ParallelEncoder { segment, threads, partitioning, backend: Backend::default() }
     }
 
-    /// Selects the GF(2^8) region backend (default: product-table rows).
-    /// `Backend::LoopWide` is the faithful stand-in for the paper's
-    /// SSE2 loop-based multiplication.
+    /// Selects the GF(2^8) region backend (default: the host's fastest —
+    /// [`Backend::Simd`] wherever a vector ISA is detected). Other backends
+    /// remain available for ablation.
     pub fn with_backend(mut self, backend: Backend) -> ParallelEncoder {
         self.backend = backend;
         self
+    }
+
+    /// The GF(2^8) region backend this encoder codes with.
+    #[inline]
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// The partitioning strategy in use.
@@ -95,15 +101,10 @@ impl ParallelEncoder {
                         let segment = &self.segment;
                         let backend = self.backend;
                         scope.spawn(move |_| {
+                            let n = segment.config().blocks();
+                            let sources: Vec<&[u8]> = (0..n).map(|i| segment.block(i)).collect();
                             for (j, payload) in bucket {
-                                for (i, &c) in coeff_rows[j].iter().enumerate() {
-                                    region::mul_add_assign_with(
-                                        backend,
-                                        payload,
-                                        segment.block(i),
-                                        c,
-                                    );
-                                }
+                                region::dot_assign_with(backend, payload, &sources, &coeff_rows[j]);
                             }
                         });
                     }
@@ -127,10 +128,11 @@ impl ParallelEncoder {
                             let this_offset = offset;
                             offset += take;
                             scope.spawn(move |_| {
-                                for (i, &c) in row.iter().enumerate() {
-                                    let src = &segment.block(i)[this_offset..this_offset + take];
-                                    region::mul_add_assign_with(backend, head, src, c);
-                                }
+                                let n = segment.config().blocks();
+                                let sources: Vec<&[u8]> = (0..n)
+                                    .map(|i| &segment.block(i)[this_offset..this_offset + take])
+                                    .collect();
+                                region::dot_assign_with(backend, head, &sources, row);
                             });
                         }
                     })

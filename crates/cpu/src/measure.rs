@@ -6,6 +6,7 @@
 
 use std::time::Instant;
 
+use nc_gf256::region::Backend;
 use nc_rlnc::{CodingConfig, Encoder, Segment};
 use rand::{Rng, SeedableRng};
 
@@ -13,8 +14,24 @@ use crate::decode::ParallelSegmentDecoder;
 use crate::encode::{ParallelEncoder, Partitioning};
 
 /// Measures encoding throughput (coded bytes/second) for `m` coded blocks
-/// of a random `(n, k)` segment on `threads` threads.
+/// of a random `(n, k)` segment on `threads` threads, with the
+/// auto-detected GF region backend.
+#[inline]
 pub fn encode_throughput(
+    n: usize,
+    k: usize,
+    m: usize,
+    threads: usize,
+    partitioning: Partitioning,
+    seed: u64,
+) -> f64 {
+    encode_throughput_with(Backend::default(), n, k, m, threads, partitioning, seed)
+}
+
+/// Measures encoding throughput with an explicit GF region backend — the
+/// hook the SIMD-vs-scalar host sweeps use.
+pub fn encode_throughput_with(
+    backend: Backend,
     n: usize,
     k: usize,
     m: usize,
@@ -28,7 +45,7 @@ pub fn encode_throughput(
     let segment = Segment::from_bytes(config, data).expect("sized data");
     let coeffs: Vec<Vec<u8>> =
         (0..m).map(|_| (0..n).map(|_| rng.gen_range(1..=255)).collect()).collect();
-    let encoder = ParallelEncoder::new(segment, threads, partitioning);
+    let encoder = ParallelEncoder::new(segment, threads, partitioning).with_backend(backend);
 
     let start = Instant::now();
     let blocks = encoder.encode_batch(&coeffs);
@@ -38,8 +55,23 @@ pub fn encode_throughput(
 }
 
 /// Measures multi-segment decoding throughput (decoded bytes/second) for
-/// `segments` random segments on `threads` threads.
+/// `segments` random segments on `threads` threads, with the auto-detected
+/// GF region backend.
+#[inline]
 pub fn decode_throughput(n: usize, k: usize, segments: usize, threads: usize, seed: u64) -> f64 {
+    decode_throughput_with(Backend::default(), n, k, segments, threads, seed)
+}
+
+/// Measures multi-segment decoding throughput with an explicit GF region
+/// backend.
+pub fn decode_throughput_with(
+    backend: Backend,
+    n: usize,
+    k: usize,
+    segments: usize,
+    threads: usize,
+    seed: u64,
+) -> f64 {
     let config = CodingConfig::new(n, k).expect("valid config");
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut inputs = Vec::with_capacity(segments);
@@ -48,7 +80,7 @@ pub fn decode_throughput(n: usize, k: usize, segments: usize, threads: usize, se
         let enc = Encoder::new(Segment::from_bytes(config, data).expect("sized data"));
         inputs.push(enc.encode_batch(&mut rng, n + 4));
     }
-    let decoder = ParallelSegmentDecoder::new(config, threads);
+    let decoder = ParallelSegmentDecoder::new(config, threads).with_backend(backend);
 
     let start = Instant::now();
     let out = decoder.decode_segments(&inputs).expect("full rank with 4 extra blocks");

@@ -16,14 +16,23 @@
 //!   (L1-resident on CPUs).
 //! * [`Backend::LogExp`] — the paper's Fig. 1 baseline, three lookups per
 //!   byte.
-//! * [`Backend::LoopWide`] — loop-based over 8-byte lanes, the stand-in for
-//!   the SSE2 implementation of the paper's CPU baseline.
+//! * [`Backend::LoopWide`] — loop-based over 8-byte lanes (formerly the
+//!   stand-in for the paper's SSE2 CPU baseline).
 //! * [`Backend::Nibble`] — two 16-entry half-byte tables per coefficient
-//!   (the technique behind SSSE3 `PSHUFB` coding; scalar here).
+//!   (the scalar form of the shuffle-table technique).
+//! * [`Backend::Simd`] — real SSSE3/AVX2 `PSHUFB` / NEON `TBL` nibble-table
+//!   kernels with cached runtime dispatch (see [`crate::simd`]); the
+//!   **default** on every host, degrading to a portable loop where no
+//!   vector ISA is present.
 //!
-//! All backends produce identical bytes (property-tested).
+//! The default backend is detected once per process and can be forced with
+//! the `NC_GF_BACKEND` environment variable (see
+//! [`crate::simd::default_backend`]). All backends produce identical bytes
+//! (property-tested).
 
 use crate::scalar::mul_table;
+use crate::simd;
+pub(crate) use crate::simd::nibble_tables;
 use crate::tables::MUL;
 use crate::wide::mul_word64;
 
@@ -35,42 +44,54 @@ pub enum Backend {
     Table,
     /// Log/exp lookups per byte (the paper's baseline, Fig. 1).
     LogExp,
-    /// Loop-based multiplication over 64-bit lanes (SIMD stand-in).
+    /// Loop-based multiplication over 64-bit lanes.
     LoopWide,
     /// Half-byte (nibble) tables, 32 bytes of state per coefficient.
     Nibble,
+    /// Runtime-dispatched SIMD shuffle-table kernels ([`crate::simd`]).
+    Simd,
 }
 
 impl Backend {
     /// All available backends, for exhaustive testing and benchmarking.
-    pub const ALL: [Backend; 4] =
-        [Backend::Table, Backend::LogExp, Backend::LoopWide, Backend::Nibble];
-}
+    pub const ALL: [Backend; 5] =
+        [Backend::Table, Backend::LogExp, Backend::LoopWide, Backend::Nibble, Backend::Simd];
 
-impl Default for Backend {
-    /// The fastest portable CPU backend.
-    fn default() -> Self {
-        Backend::Table
+    /// The auto-detected default for this host (cached after first call;
+    /// honors `NC_GF_BACKEND` — see [`crate::simd::default_backend`]).
+    #[inline]
+    pub fn detected() -> Backend {
+        simd::default_backend()
+    }
+
+    /// Human-readable backend name (stable; used by benches and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Table => "table",
+            Backend::LogExp => "logexp",
+            Backend::LoopWide => "loopwide",
+            Backend::Nibble => "nibble",
+            Backend::Simd => "simd",
+        }
     }
 }
 
-/// `dst ^= src`, processed 8 bytes at a time.
+impl Default for Backend {
+    /// The auto-detected fastest backend for this host ([`Backend::detected`]).
+    fn default() -> Self {
+        Backend::detected()
+    }
+}
+
+/// `dst ^= src` with the widest XOR path the host offers (32-byte AVX2
+/// lanes where available, 8-byte words otherwise).
 ///
 /// # Panics
 ///
 /// Panics if the slices differ in length.
+#[inline]
 pub fn add_assign(dst: &mut [u8], src: &[u8]) {
-    assert_eq!(dst.len(), src.len(), "region length mismatch");
-    let mut d = dst.chunks_exact_mut(8);
-    let mut s = src.chunks_exact(8);
-    for (dc, sc) in (&mut d).zip(&mut s) {
-        let x = u64::from_le_bytes(dc.try_into().unwrap());
-        let y = u64::from_le_bytes(sc.try_into().unwrap());
-        dc.copy_from_slice(&(x ^ y).to_le_bytes());
-    }
-    for (db, sb) in d.into_remainder().iter_mut().zip(s.remainder()) {
-        *db ^= *sb;
-    }
+    simd::xor_assign(dst, src);
 }
 
 /// `dst ^= c · src` with the default backend.
@@ -128,6 +149,7 @@ pub fn mul_add_assign_with(backend: Backend, dst: &mut [u8], src: &[u8], c: u8) 
                 *d ^= lo[(*s & 0x0F) as usize] ^ hi[(*s >> 4) as usize];
             }
         }
+        Backend::Simd => simd::mul_add_assign(dst, src, c),
     }
 }
 
@@ -172,6 +194,7 @@ pub fn mul_assign_with(backend: Backend, dst: &mut [u8], c: u8) {
                 *d = lo[(*d & 0x0F) as usize] ^ hi[(*d >> 4) as usize];
             }
         }
+        Backend::Simd => simd::mul_assign(dst, c),
     }
 }
 
@@ -180,45 +203,91 @@ pub fn mul_assign_with(backend: Backend, dst: &mut [u8], c: u8) {
 /// # Panics
 ///
 /// Panics if the slices differ in length.
+#[inline]
 pub fn mul_into(dst: &mut [u8], src: &[u8], c: u8) {
+    mul_into_with(Backend::default(), dst, src, c);
+}
+
+/// `dst = c · src` (overwriting) with an explicit backend.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn mul_into_with(backend: Backend, dst: &mut [u8], src: &[u8], c: u8) {
     assert_eq!(dst.len(), src.len(), "region length mismatch");
     match c {
         0 => return dst.fill(0),
         1 => return dst.copy_from_slice(src),
         _ => {}
     }
-    let row = &MUL[c as usize];
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d = row[*s as usize];
+    match backend {
+        Backend::Simd => simd::mul_into(dst, src, c),
+        Backend::LogExp => {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = mul_table(c, *s);
+            }
+        }
+        Backend::LoopWide => {
+            let mut d = dst.chunks_exact_mut(8);
+            let mut s = src.chunks_exact(8);
+            for (dc, sc) in (&mut d).zip(&mut s) {
+                let y = u64::from_le_bytes(sc.try_into().unwrap());
+                dc.copy_from_slice(&mul_word64(c, y).to_le_bytes());
+            }
+            for (db, sb) in d.into_remainder().iter_mut().zip(s.remainder()) {
+                *db = crate::scalar::mul_loop(c, *sb);
+            }
+        }
+        Backend::Nibble => {
+            let (lo, hi) = nibble_tables(c);
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = lo[(*s & 0x0F) as usize] ^ hi[(*s >> 4) as usize];
+            }
+        }
+        Backend::Table => {
+            let row = &MUL[c as usize];
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = row[*s as usize];
+            }
+        }
     }
 }
 
 /// Accumulates `dst ^= Σ coeffs[i] · sources[i]` — one output row of the
-/// encoding matrix product (the paper's Eq. 1).
+/// encoding matrix product (the paper's Eq. 1) — with the default backend.
 ///
 /// # Panics
 ///
 /// Panics if `coeffs` and `sources` differ in length, or any source region's
 /// length differs from `dst`'s.
+#[inline]
 pub fn dot_assign(dst: &mut [u8], sources: &[&[u8]], coeffs: &[u8]) {
-    assert_eq!(sources.len(), coeffs.len(), "coefficient count mismatch");
-    for (&src, &c) in sources.iter().zip(coeffs) {
-        mul_add_assign(dst, src, c);
-    }
+    dot_assign_with(Backend::default(), dst, sources, coeffs);
 }
 
-/// Builds the two 16-entry nibble product tables for coefficient `c`:
-/// `lo[i] = c·i`, `hi[i] = c·(i<<4)`.
-#[inline]
-fn nibble_tables(c: u8) -> ([u8; 16], [u8; 16]) {
-    let row = &MUL[c as usize];
-    let mut lo = [0u8; 16];
-    let mut hi = [0u8; 16];
-    for i in 0..16 {
-        lo[i] = row[i];
-        hi[i] = row[i << 4];
+/// Accumulates `dst ^= Σ coeffs[i] · sources[i]` with an explicit backend.
+///
+/// On [`Backend::Simd`] this runs the blocked multi-source kernel
+/// ([`crate::simd::dot_assign_with_kernel`]): up to
+/// [`crate::simd::DOT_BLOCK`] coefficient rows are folded per pass, keeping
+/// their half-byte tables in vector registers and streaming each
+/// destination cache line once per block instead of once per source. Scalar
+/// backends fall back to a row-at-a-time loop.
+///
+/// # Panics
+///
+/// Panics if `coeffs` and `sources` differ in length, or any source region's
+/// length differs from `dst`'s.
+pub fn dot_assign_with(backend: Backend, dst: &mut [u8], sources: &[&[u8]], coeffs: &[u8]) {
+    assert_eq!(sources.len(), coeffs.len(), "coefficient count mismatch");
+    match backend {
+        Backend::Simd => simd::dot_assign(dst, sources, coeffs),
+        _ => {
+            for (&src, &c) in sources.iter().zip(coeffs) {
+                mul_add_assign_with(backend, dst, src, c);
+            }
+        }
     }
-    (lo, hi)
 }
 
 #[cfg(test)]
@@ -293,6 +362,51 @@ mod tests {
             let want = mul_loop(0x02, a[i]) ^ mul_loop(0x00, b[i]) ^ mul_loop(0x53, c[i]);
             assert_eq!(dst[i], want);
         }
+    }
+
+    #[test]
+    fn mul_into_backends_agree() {
+        for len in [0usize, 1, 15, 16, 17, 33, 130] {
+            let src: Vec<u8> = (0..len).map(|i| (i * 29 + 3) as u8).collect();
+            for c in [0u8, 1, 2, 0x53, 0xFF] {
+                let want: Vec<u8> = src.iter().map(|&s| mul_loop(c, s)).collect();
+                for backend in Backend::ALL {
+                    let mut dst = vec![0xCC; len];
+                    mul_into_with(backend, &mut dst, &src, c);
+                    assert_eq!(dst, want, "backend {backend:?}, c={c}, len={len}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dot_assign_backends_agree() {
+        // Enough sources to exercise the blocked path plus a remainder, with
+        // zero and one coefficients sprinkled in.
+        let len = 67usize;
+        let sources: Vec<Vec<u8>> =
+            (0..7).map(|s| (0..len).map(|i| (i * 7 + s * 13 + 1) as u8).collect()).collect();
+        let refs: Vec<&[u8]> = sources.iter().map(|s| s.as_slice()).collect();
+        let coeffs = [0x02u8, 0x00, 0x53, 0xFE, 0x01, 0x9A, 0x07];
+        let mut want = vec![0x11u8; len];
+        for (s, &c) in refs.iter().zip(&coeffs) {
+            for (d, &b) in want.iter_mut().zip(*s) {
+                *d ^= mul_loop(c, b);
+            }
+        }
+        for backend in Backend::ALL {
+            let mut dst = vec![0x11u8; len];
+            dot_assign_with(backend, &mut dst, &refs, &coeffs);
+            assert_eq!(dst, want, "backend {backend:?}");
+        }
+    }
+
+    #[test]
+    fn detected_backend_is_stable() {
+        let first = Backend::detected();
+        assert_eq!(Backend::detected(), first);
+        assert_eq!(Backend::default(), first);
+        assert!(Backend::ALL.contains(&first));
     }
 
     #[test]

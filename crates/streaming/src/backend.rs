@@ -1,6 +1,8 @@
 //! Pluggable coding backends for the streaming server.
 
+use nc_cpu::{measure, Partitioning};
 use nc_cpu_model::{CpuModel, EncodeStrategy};
+use nc_gf256::region::Backend;
 use nc_gpu::api::EncodeScheme;
 use nc_gpu::{GpuEncoder, TableVariant};
 use nc_gpu_sim::DeviceSpec;
@@ -75,18 +77,82 @@ impl CodingBackend for CpuModelBackend {
     }
 }
 
+/// Real measured encoding throughput of *this* host's CPU, with a chosen
+/// GF(2^8) region backend — the companion to the modeled Mac Pro, letting
+/// hybrid projections use live SIMD numbers instead of 2009 constants.
+pub struct HostCpuBackend {
+    backend: Backend,
+    threads: usize,
+    /// Coded blocks measured per probe (kept modest so `encoding_rate`
+    /// stays interactive; servers cache the result anyway).
+    batch: usize,
+}
+
+impl HostCpuBackend {
+    /// This host with the auto-detected (SIMD where available) GF backend
+    /// and `threads` worker threads.
+    pub fn detected(threads: usize) -> HostCpuBackend {
+        HostCpuBackend { backend: Backend::default(), threads: threads.max(1), batch: 64 }
+    }
+
+    /// This host with an explicit GF backend, for SIMD-vs-scalar ablation.
+    pub fn with_backend(backend: Backend, threads: usize) -> HostCpuBackend {
+        HostCpuBackend { backend, threads: threads.max(1), batch: 64 }
+    }
+
+    /// The GF(2^8) region backend this probe encodes with.
+    #[inline]
+    pub fn gf_backend(&self) -> Backend {
+        self.backend
+    }
+}
+
+impl CodingBackend for HostCpuBackend {
+    fn name(&self) -> String {
+        format!("host CPU ({} backend, {} threads, measured)", self.backend.name(), self.threads)
+    }
+
+    fn encoding_rate(&mut self, config: CodingConfig) -> f64 {
+        measure::encode_throughput_with(
+            self.backend,
+            config.blocks(),
+            config.block_size(),
+            self.batch,
+            self.threads,
+            Partitioning::FullBlock,
+            0xC0DE,
+        )
+    }
+}
+
 /// GPU and CPU encoding in parallel — Sec. 5.4.1: "encoding can be employed
 /// by GPU and CPU in parallel, achieving encoding rates in proximity to the
 /// sum of the individual bandwidths".
+///
+/// The CPU side is any [`CodingBackend`]: the paper's modeled Mac Pro or a
+/// live [`HostCpuBackend`] measurement.
 pub struct HybridBackend {
     gpu: GpuBackend,
-    cpu: CpuModelBackend,
+    cpu: Box<dyn CodingBackend>,
 }
 
 impl HybridBackend {
     /// GTX 280 (Table-based-5) plus the Mac Pro.
     pub fn gtx280_plus_mac_pro() -> HybridBackend {
-        HybridBackend { gpu: GpuBackend::gtx280_best(), cpu: CpuModelBackend::mac_pro() }
+        HybridBackend { gpu: GpuBackend::gtx280_best(), cpu: Box::new(CpuModelBackend::mac_pro()) }
+    }
+
+    /// GTX 280 (Table-based-5) plus this host's measured SIMD throughput.
+    pub fn gtx280_plus_host(threads: usize) -> HybridBackend {
+        HybridBackend {
+            gpu: GpuBackend::gtx280_best(),
+            cpu: Box::new(HostCpuBackend::detected(threads)),
+        }
+    }
+
+    /// Any GPU/CPU pairing.
+    pub fn custom(gpu: GpuBackend, cpu: Box<dyn CodingBackend>) -> HybridBackend {
+        HybridBackend { gpu, cpu }
     }
 
     /// The paper's price/performance argument: the GPU's share of the
@@ -116,6 +182,27 @@ mod tests {
 
     fn paper_config() -> CodingConfig {
         CodingConfig::new(128, 4096).unwrap()
+    }
+
+    #[test]
+    fn host_cpu_backend_measures_positive_rate() {
+        // A tiny config keeps this a smoke test, not a benchmark.
+        let mut b = HostCpuBackend::detected(2);
+        b.batch = 4;
+        let rate = b.encoding_rate(CodingConfig::new(8, 256).unwrap());
+        assert!(rate.is_finite() && rate > 0.0);
+        assert!(b.name().contains("host CPU"));
+    }
+
+    #[test]
+    fn hybrid_accepts_a_live_host_cpu_side() {
+        let mut host = HostCpuBackend::with_backend(Backend::Table, 1);
+        host.batch = 4;
+        let mut hybrid = HybridBackend::custom(GpuBackend::gtx280_best(), Box::new(host));
+        let cfg = CodingConfig::new(8, 256).unwrap();
+        let rate = hybrid.encoding_rate(cfg);
+        assert!(rate.is_finite() && rate > 0.0);
+        assert!(hybrid.name().contains("host CPU"));
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod media;
 pub mod nic;
 pub mod server;
 
-pub use backend::{CodingBackend, CpuModelBackend, GpuBackend, HybridBackend};
+pub use backend::{CodingBackend, CpuModelBackend, GpuBackend, HostCpuBackend, HybridBackend};
 pub use capacity::CapacityPlan;
 pub use media::StreamProfile;
 pub use nic::Nic;
