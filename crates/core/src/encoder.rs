@@ -78,8 +78,18 @@ impl Encoder {
 
     /// Generates `count` coded blocks (the streaming-server batch pattern:
     /// generate many, buffer, deliver on demand — Sec. 5.3).
+    ///
+    /// The source-slice table is built once for the whole batch, so the
+    /// per-block path is allocation-free apart from each block's own
+    /// coefficient vector and payload.
     pub fn encode_batch(&self, rng: &mut impl Rng, count: usize) -> Vec<CodedBlock> {
-        (0..count).map(|_| self.encode(rng)).collect()
+        let sources: Vec<&[u8]> = self.segment.iter_blocks().collect();
+        (0..count)
+            .map(|_| {
+                let coeffs = self.coeff_rng.draw(rng, self.config().blocks());
+                self.encode_over_sources(&sources, coeffs)
+            })
+            .collect()
     }
 
     /// Generates the coded block for a caller-supplied coefficient vector.
@@ -112,11 +122,13 @@ impl Encoder {
     }
 
     fn encode_with_coefficients_unchecked(&self, coefficients: Vec<u8>) -> CodedBlock {
-        let k = self.config().block_size();
-        let n = coefficients.len();
-        let mut payload = vec![0u8; k];
-        let sources: Vec<&[u8]> = (0..n).map(|i| self.segment.block(i)).collect();
-        region::dot_assign_with(self.backend, &mut payload, &sources, &coefficients);
+        let sources: Vec<&[u8]> = self.segment.iter_blocks().collect();
+        self.encode_over_sources(&sources, coefficients)
+    }
+
+    fn encode_over_sources(&self, sources: &[&[u8]], coefficients: Vec<u8>) -> CodedBlock {
+        let mut payload = vec![0u8; self.config().block_size()];
+        region::dot_assign_with(self.backend, &mut payload, sources, &coefficients);
         CodedBlock::new(coefficients, payload)
     }
 }

@@ -94,6 +94,23 @@ pub fn add_assign(dst: &mut [u8], src: &[u8]) {
     simd::xor_assign(dst, src);
 }
 
+/// `dst ^= src` with an explicit backend: [`Backend::Simd`] uses the active
+/// SIMD kernel's widest XOR; the scalar backends use the portable
+/// 8-byte-word loop, so a forced-scalar ablation run never executes vector
+/// code even for unit coefficients.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn add_assign_with(backend: Backend, dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "region length mismatch");
+    match backend {
+        Backend::Simd => simd::xor_assign(dst, src),
+        _ => simd::portable_xor(dst, src),
+    }
+}
+
 /// `dst ^= c · src` with the default backend.
 ///
 /// # Panics
@@ -116,7 +133,7 @@ pub fn mul_add_assign_with(backend: Backend, dst: &mut [u8], src: &[u8], c: u8) 
     assert_eq!(dst.len(), src.len(), "region length mismatch");
     match c {
         0 => return,
-        1 => return add_assign(dst, src),
+        1 => return add_assign_with(backend, dst, src),
         _ => {}
     }
     match backend {
@@ -336,6 +353,20 @@ mod tests {
         let want: Vec<u8> = dst.iter().zip(&src).map(|(&d, &s)| d ^ s).collect();
         add_assign(&mut dst, &src);
         assert_eq!(dst, want);
+    }
+
+    #[test]
+    fn add_assign_backends_agree() {
+        for len in [0usize, 1, 7, 8, 9, 31, 32, 33, 130] {
+            let dst0: Vec<u8> = (0..len).map(|i| (i * 17 + 3) as u8).collect();
+            let src: Vec<u8> = (0..len).map(|i| (i * 41 + 9) as u8).collect();
+            let want: Vec<u8> = dst0.iter().zip(&src).map(|(&d, &s)| d ^ s).collect();
+            for backend in Backend::ALL {
+                let mut dst = dst0.clone();
+                add_assign_with(backend, &mut dst, &src);
+                assert_eq!(dst, want, "backend {backend:?}, len={len}");
+            }
+        }
     }
 
     #[test]

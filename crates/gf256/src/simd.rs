@@ -323,18 +323,25 @@ pub fn dot_assign_with_kernel(
     for src in sources {
         assert_eq!(src.len(), dst.len(), "region length mismatch");
     }
-    // Skip zero terms up front so the blocked kernels never meet them and
-    // the one-coefficient fast path still applies to what remains.
-    let mut dense: Vec<(usize, u8)> = Vec::with_capacity(coeffs.len());
+    // Gather non-zero terms into a fixed DOT_BLOCK scratch (no heap
+    // allocation in this hot loop), dispatching a blocked pass whenever it
+    // fills; zero coefficients never reach the kernels and the
+    // one-coefficient fast path still applies to the remainder.
+    let mut idxs = [0usize; DOT_BLOCK];
+    let mut cs = [0u8; DOT_BLOCK];
+    let mut filled = 0;
     for (i, &c) in coeffs.iter().enumerate() {
-        if c != 0 {
-            dense.push((i, c));
+        if c == 0 {
+            continue;
         }
-    }
-    let mut chunks = dense.chunks_exact(DOT_BLOCK);
-    for quad in &mut chunks {
-        let srcs = [sources[quad[0].0], sources[quad[1].0], sources[quad[2].0], sources[quad[3].0]];
-        let cs = [quad[0].1, quad[1].1, quad[2].1, quad[3].1];
+        idxs[filled] = i;
+        cs[filled] = c;
+        filled += 1;
+        if filled < DOT_BLOCK {
+            continue;
+        }
+        filled = 0;
+        let srcs = [sources[idxs[0]], sources[idxs[1]], sources[idxs[2]], sources[idxs[3]]];
         match kernel {
             #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
             SimdKernel::Avx2 if SimdKernel::Avx2.is_available() => {
@@ -355,8 +362,8 @@ pub fn dot_assign_with_kernel(
             }
         }
     }
-    for &(i, c) in chunks.remainder() {
-        mul_add_assign_with_kernel(kernel, dst, sources[i], c);
+    for j in 0..filled {
+        mul_add_assign_with_kernel(kernel, dst, sources[idxs[j]], cs[j]);
     }
 }
 
@@ -372,8 +379,9 @@ fn portable_mul_add(dst: &mut [u8], src: &[u8], c: u8) {
     }
 }
 
-/// Portable XOR over 8-byte words with a byte tail.
-fn portable_xor(dst: &mut [u8], src: &[u8]) {
+/// Portable XOR over 8-byte words with a byte tail (also the scalar
+/// backends' `add_assign` path — see [`crate::region::add_assign_with`]).
+pub(crate) fn portable_xor(dst: &mut [u8], src: &[u8]) {
     let mut d = dst.chunks_exact_mut(8);
     let mut s = src.chunks_exact(8);
     for (dc, sc) in (&mut d).zip(&mut s) {
@@ -464,15 +472,40 @@ mod x86 {
         }
     }
 
+    /// In-place `dst[i] = c · dst[i]` over all full 16-byte chunks; returns
+    /// the number of bytes processed. A dedicated body (rather than calling
+    /// `body_ssse3` with `src == dst`) because a `&[u8]`/`&mut [u8]` pair
+    /// over the same buffer is aliasing UB under Rust's noalias rules.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure the host supports SSSE3.
+    #[target_feature(enable = "ssse3")]
+    unsafe fn body_inplace_ssse3(dst: &mut [u8], c: u8) -> usize {
+        let (lo, hi) = nibble_tables(c);
+        // SAFETY (whole function): every access reads and writes through
+        // `dst`'s own pointer, bounded by `i + 16 <= len`, with unaligned
+        // loadu/storeu forms throughout.
+        let lo_t = _mm_loadu_si128(lo.as_ptr().cast());
+        let hi_t = _mm_loadu_si128(hi.as_ptr().cast());
+        let mask = _mm_set1_epi8(0x0F);
+        let len = dst.len();
+        let mut i = 0;
+        while i + 16 <= len {
+            let s = _mm_loadu_si128(dst.as_ptr().add(i).cast());
+            let lo_idx = _mm_and_si128(s, mask);
+            let hi_idx = _mm_and_si128(_mm_srli_epi64::<4>(s), mask);
+            let prod =
+                _mm_xor_si128(_mm_shuffle_epi8(lo_t, lo_idx), _mm_shuffle_epi8(hi_t, hi_idx));
+            _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), prod);
+            i += 16;
+        }
+        i
+    }
+
     /// # Safety: host must support SSSE3.
     pub(super) unsafe fn mul_assign_ssse3(dst: &mut [u8], c: u8) {
-        // In-place scale is the overwrite form reading dst as its source.
-        // SAFETY: `body_ssse3` with overwrite=true reads each 16-byte chunk
-        // of `src` fully before storing to the same chunk of `dst`, so
-        // aliasing src == dst is sound; the raw-pointer round trip severs
-        // the &mut/& overlap for the type system.
-        let src = std::slice::from_raw_parts(dst.as_ptr(), dst.len());
-        let done = body_ssse3(dst, src, c, true);
+        let done = body_inplace_ssse3(dst, c);
         let row = &MUL[c as usize];
         for d in dst[done..].iter_mut() {
             *d = row[*d as usize];
@@ -524,12 +557,41 @@ mod x86 {
         }
     }
 
+    /// In-place `dst[i] = c · dst[i]` over all full 32-byte chunks; returns
+    /// the number of bytes processed. Dedicated body for the same aliasing
+    /// reason as `body_inplace_ssse3`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure the host supports AVX2.
+    #[target_feature(enable = "avx2")]
+    unsafe fn body_inplace_avx2(dst: &mut [u8], c: u8) -> usize {
+        let (lo, hi) = nibble_tables(c);
+        // SAFETY (whole function): every access reads and writes through
+        // `dst`'s own pointer, bounded by `i + 32 <= len`, with unaligned
+        // loadu/storeu forms throughout.
+        let lo_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(lo.as_ptr().cast()));
+        let hi_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(hi.as_ptr().cast()));
+        let mask = _mm256_set1_epi8(0x0F);
+        let len = dst.len();
+        let mut i = 0;
+        while i + 32 <= len {
+            let s = _mm256_loadu_si256(dst.as_ptr().add(i).cast());
+            let lo_idx = _mm256_and_si256(s, mask);
+            let hi_idx = _mm256_and_si256(_mm256_srli_epi64::<4>(s), mask);
+            let prod = _mm256_xor_si256(
+                _mm256_shuffle_epi8(lo_t, lo_idx),
+                _mm256_shuffle_epi8(hi_t, hi_idx),
+            );
+            _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), prod);
+            i += 32;
+        }
+        i
+    }
+
     /// # Safety: host must support AVX2.
     pub(super) unsafe fn mul_assign_avx2(dst: &mut [u8], c: u8) {
-        // SAFETY: as in `mul_assign_ssse3`, the overwrite body reads each
-        // chunk before storing it, so the aliased view is sound.
-        let src = std::slice::from_raw_parts(dst.as_ptr(), dst.len());
-        let done = body_avx2(dst, src, c, true);
+        let done = body_inplace_avx2(dst, c);
         let row = &MUL[c as usize];
         for d in dst[done..].iter_mut() {
             *d = row[*d as usize];
@@ -646,7 +708,7 @@ mod neon {
         let len = dst.len();
         // SAFETY: NEON is architecturally guaranteed on AArch64; every
         // pointer access is bounded by `i + 16 <= len`.
-        let mut i = unsafe {
+        let i = unsafe {
             let lo_t = vld1q_u8(lo.as_ptr());
             let hi_t = vld1q_u8(hi.as_ptr());
             let mut i = 0;
@@ -662,9 +724,6 @@ mod neon {
             }
             i
         };
-        if i > len {
-            i = len;
-        }
         portable_mul_add(&mut dst[i..], &src[i..], c);
     }
 
