@@ -1,0 +1,7 @@
+//! Loopback goodput vs. loss rate over the real UDP coded transport.
+//!
+//! Run with `cargo run -p nc-bench --release --bin transfer`.
+
+fn main() {
+    print!("{}", nc_bench::report::transfer());
+}

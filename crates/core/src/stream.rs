@@ -11,6 +11,7 @@ use crate::encoder::Encoder;
 use crate::error::Error;
 use crate::segment::{segment_stream, CodingConfig};
 use rand::Rng;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One wire frame: `(segment index, coded block)`.
 ///
@@ -74,12 +75,26 @@ impl StreamFrame {
 /// assert_eq!(decoder.recover().unwrap(), data);
 /// # Ok::<(), nc_rlnc::Error>(())
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct StreamEncoder {
     config: CodingConfig,
     encoders: Vec<Encoder>,
     original_len: usize,
-    cursor: std::cell::Cell<usize>,
+    /// Round-robin position for [`StreamEncoder::next_frame`]. Atomic so
+    /// one encoder instance is `Sync` and can feed multiple sender threads
+    /// without per-thread clones.
+    cursor: AtomicUsize,
+}
+
+impl Clone for StreamEncoder {
+    fn clone(&self) -> StreamEncoder {
+        StreamEncoder {
+            config: self.config,
+            encoders: self.encoders.clone(),
+            original_len: self.original_len,
+            cursor: AtomicUsize::new(self.cursor.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl StreamEncoder {
@@ -99,7 +114,7 @@ impl StreamEncoder {
             config,
             encoders,
             original_len: data.len(),
-            cursor: std::cell::Cell::new(0),
+            cursor: AtomicUsize::new(0),
         })
     }
 
@@ -134,8 +149,7 @@ impl StreamEncoder {
     /// The next frame, cycling through segments round-robin (a simple
     /// sender schedule; smarter senders use [`StreamEncoder::frame_for`]).
     pub fn next_frame(&self, rng: &mut impl Rng) -> StreamFrame {
-        let segment = self.cursor.get();
-        self.cursor.set((segment + 1) % self.total_segments());
+        let segment = self.cursor.fetch_add(1, Ordering::Relaxed) % self.total_segments();
         self.frame_for(segment, rng)
     }
 }
@@ -269,6 +283,48 @@ mod tests {
             last = have;
         }
         assert_eq!(dec.segments_complete(), enc.total_segments());
+    }
+
+    #[test]
+    fn encoder_is_sync_and_shareable_across_threads() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<StreamEncoder>();
+
+        // One shared encoder instance feeding four sender threads: the
+        // round-robin cursor must hand out every segment index and the
+        // frames must still decode.
+        let data: Vec<u8> = (0..1024u32).map(|i| (i * 7) as u8).collect(); // 16 segments
+        let enc = StreamEncoder::new(config(), &data).unwrap();
+        let frames = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let enc = &enc;
+                let frames = &frames;
+                s.spawn(move || {
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(100 + t);
+                    let local: Vec<StreamFrame> =
+                        (0..40).map(|_| enc.next_frame(&mut rng)).collect();
+                    frames.lock().unwrap().extend(local);
+                });
+            }
+        });
+        let frames = frames.into_inner().unwrap();
+        assert_eq!(frames.len(), 160);
+        // 160 draws over 16 segments: round-robin must cover each exactly 10x.
+        let mut per_segment = [0usize; 16];
+        for f in &frames {
+            per_segment[f.segment as usize] += 1;
+        }
+        assert!(per_segment.iter().all(|&c| c == 10), "cursor skew: {per_segment:?}");
+        let mut dec = StreamDecoder::new(config(), enc.total_segments(), data.len());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(200);
+        for f in frames {
+            dec.push(f).unwrap();
+        }
+        while !dec.is_complete() {
+            dec.push(enc.next_frame(&mut rng)).unwrap();
+        }
+        assert_eq!(dec.recover().unwrap(), data);
     }
 
     #[test]

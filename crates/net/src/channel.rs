@@ -1,0 +1,448 @@
+//! Datagram channels: real UDP sockets, in-process pairs, and a
+//! deterministic fault injector usable around either.
+//!
+//! The [`Channel`] trait is the transport's only I/O seam: a bidirectional,
+//! unreliable, message-boundary-preserving pipe (UDP semantics). Tests run
+//! the full sender/receiver state machines over [`memory_pair`] channels
+//! with a seeded [`FaultyChannel`] in between, so every loss-recovery test
+//! is reproducible; deployment runs the same state machines over
+//! [`UdpChannel`], optionally still wrapped in the fault injector.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::time::Duration;
+
+use crate::wire::MAX_DATAGRAM_BYTES;
+
+/// A bidirectional unreliable datagram pipe (UDP semantics: whole
+/// datagrams, no delivery or ordering guarantee).
+pub trait Channel: Send {
+    /// Sends one datagram (best-effort).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the underlying transport; a lost datagram is *not*
+    /// an error.
+    fn send(&mut self, bytes: &[u8]) -> io::Result<()>;
+
+    /// Receives one datagram, waiting up to `timeout` (a zero timeout
+    /// polls). `Ok(None)` means nothing arrived in time.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the underlying transport.
+    fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Option<Vec<u8>>>;
+}
+
+// ---------------------------------------------------------------------------
+// Real sockets
+// ---------------------------------------------------------------------------
+
+/// A connected UDP socket as a [`Channel`].
+#[derive(Debug)]
+pub struct UdpChannel {
+    socket: UdpSocket,
+    buf: Vec<u8>,
+    /// Last-applied read mode (`None` = nonblocking), so hot recv loops
+    /// don't pay two mode-change syscalls per datagram.
+    read_mode: Option<Option<Duration>>,
+}
+
+impl UdpChannel {
+    /// Binds `local` and connects to `peer`.
+    ///
+    /// # Errors
+    ///
+    /// Any socket bind/connect error.
+    pub fn connect(local: impl ToSocketAddrs, peer: impl ToSocketAddrs) -> io::Result<UdpChannel> {
+        let socket = UdpSocket::bind(local)?;
+        socket.connect(peer)?;
+        Ok(UdpChannel::from_socket(socket))
+    }
+
+    /// Wraps an already-connected socket.
+    pub fn from_socket(socket: UdpSocket) -> UdpChannel {
+        UdpChannel { socket, buf: vec![0u8; MAX_DATAGRAM_BYTES], read_mode: None }
+    }
+
+    /// The socket's local address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `UdpSocket::local_addr` errors.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+}
+
+impl Channel for UdpChannel {
+    fn send(&mut self, bytes: &[u8]) -> io::Result<()> {
+        match self.socket.send(bytes) {
+            Ok(_) => Ok(()),
+            // A previous datagram hit a closed port (ICMP unreachable
+            // surfaces on the *next* operation on Linux): best-effort
+            // transports treat that as loss, not failure.
+            Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Option<Vec<u8>>> {
+        let want = if timeout.is_zero() { None } else { Some(timeout) };
+        if self.read_mode != Some(want) {
+            match want {
+                None => self.socket.set_nonblocking(true)?,
+                Some(t) => {
+                    self.socket.set_nonblocking(false)?;
+                    self.socket.set_read_timeout(Some(t))?;
+                }
+            }
+            self.read_mode = Some(want);
+        }
+        match self.socket.recv(&mut self.buf) {
+            Ok(len) => Ok(Some(self.buf[..len].to_vec())),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::ConnectionRefused
+                ) =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-process pairs
+// ---------------------------------------------------------------------------
+
+/// One end of an in-process datagram pair (see [`memory_pair`]).
+#[derive(Debug)]
+pub struct MemoryChannel {
+    tx: crossbeam::channel::Sender<Vec<u8>>,
+    rx: crossbeam::channel::Receiver<Vec<u8>>,
+}
+
+/// Creates a connected pair of in-process channels: bytes sent on one end
+/// arrive (reliably, in order) at the other. Wrap an end in
+/// [`FaultyChannel`] to make it lossy.
+pub fn memory_pair() -> (MemoryChannel, MemoryChannel) {
+    let (a_tx, a_rx) = crossbeam::channel::unbounded();
+    let (b_tx, b_rx) = crossbeam::channel::unbounded();
+    (MemoryChannel { tx: a_tx, rx: b_rx }, MemoryChannel { tx: b_tx, rx: a_rx })
+}
+
+impl Channel for MemoryChannel {
+    fn send(&mut self, bytes: &[u8]) -> io::Result<()> {
+        // A dropped peer is loss, not failure (UDP semantics).
+        let _ = self.tx.send(bytes.to_vec());
+        Ok(())
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Option<Vec<u8>>> {
+        use crossbeam::channel::{RecvTimeoutError, TryRecvError};
+        if timeout.is_zero() {
+            return match self.rx.try_recv() {
+                Ok(bytes) => Ok(Some(bytes)),
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => Ok(None),
+            };
+        }
+        match self.rx.recv_timeout(timeout) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            // The peer hung up; nothing will ever arrive, but a datagram
+            // transport has no connection state to report.
+            Err(RecvTimeoutError::Disconnected) => {
+                std::thread::sleep(timeout);
+                Ok(None)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// Probabilities of each datagram fault, applied independently per send.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct FaultProfile {
+    /// Probability the datagram is silently dropped.
+    pub drop: f64,
+    /// Probability the datagram is delivered twice.
+    pub duplicate: f64,
+    /// Probability the datagram is held back behind later traffic
+    /// (reordering / latency jitter).
+    pub reorder: f64,
+    /// Maximum number of later sends a reordered datagram is held behind.
+    pub reorder_depth: usize,
+    /// Probability one random bit of the datagram is flipped.
+    pub bit_flip: f64,
+}
+
+impl FaultProfile {
+    /// No faults at all.
+    pub fn lossless() -> FaultProfile {
+        FaultProfile { drop: 0.0, duplicate: 0.0, reorder: 0.0, reorder_depth: 0, bit_flip: 0.0 }
+    }
+
+    /// Pure random loss at rate `drop`.
+    pub fn lossy(drop: f64) -> FaultProfile {
+        FaultProfile { drop, ..FaultProfile::lossless() }
+    }
+
+    /// The hostile mix used by the loss-matrix tests: loss plus
+    /// reordering, duplication, and occasional bit corruption.
+    pub fn hostile(drop: f64) -> FaultProfile {
+        FaultProfile { drop, duplicate: 0.02, reorder: 0.05, reorder_depth: 8, bit_flip: 0.01 }
+    }
+
+    /// Returns the profile with a different reorder setting.
+    pub fn with_reorder(mut self, probability: f64, depth: usize) -> FaultProfile {
+        self.reorder = probability;
+        self.reorder_depth = depth;
+        self
+    }
+}
+
+/// Counts of injected faults (reported by tests and the bench runner).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Datagrams admitted for sending.
+    pub admitted: u64,
+    /// Datagrams dropped.
+    pub dropped: u64,
+    /// Extra deliveries from duplication.
+    pub duplicated: u64,
+    /// Datagrams held back for reordering.
+    pub reordered: u64,
+    /// Datagrams with a bit flipped.
+    pub bit_flipped: u64,
+}
+
+/// Deterministic, seedable fault injection over opaque datagrams.
+///
+/// Generic over a `tag` so point-to-point channels (`tag = ()`) and a
+/// multi-receiver server socket (`tag = SocketAddr`) share one
+/// implementation. `admit` returns the datagrams to put on the wire *now*;
+/// reordered datagrams surface on later admits.
+#[derive(Debug)]
+pub struct FaultInjector<T> {
+    profile: FaultProfile,
+    rng: StdRng,
+    seq: u64,
+    held: Vec<(u64, T, Vec<u8>)>,
+    stats: FaultStats,
+}
+
+impl<T: Clone> FaultInjector<T> {
+    /// A new injector; identical `(profile, seed)` pairs replay the exact
+    /// same fault pattern.
+    pub fn new(profile: FaultProfile, seed: u64) -> FaultInjector<T> {
+        FaultInjector {
+            profile,
+            rng: StdRng::seed_from_u64(seed),
+            seq: 0,
+            held: Vec::new(),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Passes one datagram through the fault model; returns what reaches
+    /// the wire now (possibly nothing, possibly previously held datagrams,
+    /// possibly duplicates).
+    pub fn admit(&mut self, tag: T, bytes: &[u8]) -> Vec<(T, Vec<u8>)> {
+        self.seq += 1;
+        self.stats.admitted += 1;
+        let mut out = self.release_due();
+
+        if self.rng.gen_bool(self.profile.drop) {
+            self.stats.dropped += 1;
+            return out;
+        }
+        let mut bytes = bytes.to_vec();
+        if self.rng.gen_bool(self.profile.bit_flip) && !bytes.is_empty() {
+            let bit = self.rng.gen_range(0..bytes.len() * 8);
+            bytes[bit / 8] ^= 1 << (bit % 8);
+            self.stats.bit_flipped += 1;
+        }
+        let duplicate = self.rng.gen_bool(self.profile.duplicate);
+        if self.profile.reorder_depth > 0 && self.rng.gen_bool(self.profile.reorder) {
+            let delay = self.rng.gen_range(1..=self.profile.reorder_depth) as u64;
+            self.held.push((self.seq + delay, tag.clone(), bytes.clone()));
+            self.stats.reordered += 1;
+            if duplicate {
+                // The duplicate takes the fast path — classic mis-ordered
+                // duplicate delivery.
+                self.stats.duplicated += 1;
+                out.push((tag, bytes));
+            }
+            return out;
+        }
+        if duplicate {
+            self.stats.duplicated += 1;
+            out.push((tag.clone(), bytes.clone()));
+        }
+        out.push((tag, bytes));
+        out
+    }
+
+    /// Releases every held datagram immediately (end-of-stream flush).
+    pub fn flush(&mut self) -> Vec<(T, Vec<u8>)> {
+        self.held.drain(..).map(|(_, tag, bytes)| (tag, bytes)).collect()
+    }
+
+    /// Fault counters so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    fn release_due(&mut self) -> Vec<(T, Vec<u8>)> {
+        let mut due = Vec::new();
+        let seq = self.seq;
+        self.held.retain(|(release_at, tag, bytes)| {
+            if *release_at <= seq {
+                due.push((tag.clone(), bytes.clone()));
+                false
+            } else {
+                true
+            }
+        });
+        due
+    }
+}
+
+/// A [`Channel`] whose *outgoing* datagrams pass through a seeded
+/// [`FaultInjector`]. Wrap the data-path end (the sender's channel) to
+/// model a lossy forward link; wrap both ends for a symmetric lossy link.
+#[derive(Debug)]
+pub struct FaultyChannel<C> {
+    inner: C,
+    injector: FaultInjector<()>,
+}
+
+impl<C: Channel> FaultyChannel<C> {
+    /// Wraps `inner` with deterministic faults.
+    pub fn new(inner: C, profile: FaultProfile, seed: u64) -> FaultyChannel<C> {
+        FaultyChannel { inner, injector: FaultInjector::new(profile, seed) }
+    }
+
+    /// Fault counters so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.injector.stats()
+    }
+
+    /// The wrapped channel.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+}
+
+impl<C: Channel> Channel for FaultyChannel<C> {
+    fn send(&mut self, bytes: &[u8]) -> io::Result<()> {
+        for ((), wire) in self.injector.admit((), bytes) {
+            self.inner.send(&wire)?;
+        }
+        Ok(())
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Option<Vec<u8>>> {
+        self.inner.recv_timeout(timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_pair_delivers_both_directions() {
+        let (mut a, mut b) = memory_pair();
+        a.send(b"ping").unwrap();
+        b.send(b"pong").unwrap();
+        assert_eq!(b.recv_timeout(Duration::from_millis(50)).unwrap().unwrap(), b"ping");
+        assert_eq!(a.recv_timeout(Duration::from_millis(50)).unwrap().unwrap(), b"pong");
+        assert_eq!(a.recv_timeout(Duration::ZERO).unwrap(), None);
+    }
+
+    #[test]
+    fn udp_loopback_roundtrip() {
+        let a = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let b = UdpSocket::bind("127.0.0.1:0").unwrap();
+        a.connect(b.local_addr().unwrap()).unwrap();
+        b.connect(a.local_addr().unwrap()).unwrap();
+        let mut a = UdpChannel::from_socket(a);
+        let mut b = UdpChannel::from_socket(b);
+        a.send(b"hello").unwrap();
+        assert_eq!(b.recv_timeout(Duration::from_millis(200)).unwrap().unwrap(), b"hello");
+        assert_eq!(b.recv_timeout(Duration::from_millis(1)).unwrap(), None);
+        assert_eq!(b.recv_timeout(Duration::ZERO).unwrap(), None);
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic() {
+        let profile = FaultProfile::hostile(0.2);
+        let run = |seed| {
+            let mut injector: FaultInjector<()> = FaultInjector::new(profile, seed);
+            let mut delivered = Vec::new();
+            for i in 0..500u32 {
+                for ((), bytes) in injector.admit((), &i.to_le_bytes()) {
+                    delivered.push(bytes);
+                }
+            }
+            (delivered, injector.stats())
+        };
+        let (d1, s1) = run(42);
+        let (d2, s2) = run(42);
+        assert_eq!(d1, d2);
+        assert_eq!(s1, s2);
+        let (d3, _) = run(43);
+        assert_ne!(d1, d3, "different seeds must differ");
+    }
+
+    #[test]
+    fn drop_rate_is_approximately_honored() {
+        let mut injector: FaultInjector<()> = FaultInjector::new(FaultProfile::lossy(0.2), 7);
+        for i in 0..5000u32 {
+            injector.admit((), &i.to_le_bytes());
+        }
+        let dropped = injector.stats().dropped as f64 / 5000.0;
+        assert!((0.15..0.25).contains(&dropped), "drop rate {dropped}");
+    }
+
+    #[test]
+    fn reordering_holds_and_releases() {
+        let profile = FaultProfile::lossless().with_reorder(1.0, 3);
+        let mut injector: FaultInjector<()> = FaultInjector::new(profile, 1);
+        // Every datagram is held, so early admits release nothing...
+        let first = injector.admit((), b"a");
+        assert!(first.is_empty());
+        let mut total = first.len();
+        for _ in 0..20 {
+            total += injector.admit((), b"x").len();
+        }
+        // ...but held datagrams drain as later sends push the clock.
+        assert!(total > 0, "held datagrams never released");
+        total += injector.flush().len();
+        assert_eq!(total, 21, "every admitted datagram eventually surfaces");
+    }
+
+    #[test]
+    fn lossless_profile_is_transparent() {
+        let (a, mut b) = memory_pair();
+        let mut faulty = FaultyChannel::new(a, FaultProfile::lossless(), 9);
+        for i in 0..50u8 {
+            faulty.send(&[i]).unwrap();
+        }
+        for i in 0..50u8 {
+            assert_eq!(b.recv_timeout(Duration::from_millis(10)).unwrap().unwrap(), vec![i]);
+        }
+        assert_eq!(faulty.fault_stats().dropped, 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Lossy-datagram coded transport for RLNC streams: real UDP sockets,
+//! deterministic fault injection, and rateless multi-receiver sessions.
+//!
+//! The paper deploys its GPU encoder behind a UDP push over gigabit
+//! Ethernet; this crate is that transport layer. Everything above the
+//! socket is a sans-I/O state machine, so the exact same sender/receiver
+//! logic runs over three substrates:
+//!
+//! - [`channel::UdpChannel`] — a real `std::net::UdpSocket` (deployment,
+//!   loopback benchmarks);
+//! - [`channel::MemoryChannel`] — an in-process pair (fast tests);
+//! - either of the above wrapped in [`channel::FaultyChannel`] — seeded,
+//!   reproducible drop/duplicate/reorder/bit-flip faults.
+//!
+//! Layer map:
+//!
+//! | Module | Role |
+//! |---|---|
+//! | [`wire`] | versioned datagram codec: magic, session ids, CRC-32, typed payloads |
+//! | [`channel`] | the I/O seam: sockets, memory pairs, fault injection |
+//! | [`pacing`] | token-bucket wire pacing + adaptive redundancy control |
+//! | [`session`] | sans-I/O rateless sender state machine |
+//! | [`receiver`] | sans-I/O receiver state machine + blocking driver |
+//! | [`sender`] | blocking sender driver over any [`channel::Channel`] |
+//! | [`server`] | many concurrent receivers on one socket, per-session stats |
+//!
+//! There is **no retransmission path**. Loss is repaired by sending fresh
+//! coded frames for whichever segments still lack rank — the rateless
+//! property that lets one sender serve many receivers with uncorrelated
+//! loss patterns from a single coded stream. Feedback (tiny ACK datagrams
+//! with a per-segment completion bitmap) only stops finished segments from
+//! consuming budget and calibrates the redundancy factor.
+//!
+//! ```
+//! use nc_net::channel::{memory_pair, FaultProfile, FaultyChannel};
+//! use nc_net::receiver::{run_receiver, ReceiverConfig, ReceiverSession};
+//! use nc_net::sender::send_stream;
+//! use nc_net::session::SenderConfig;
+//! use nc_rlnc::stream::StreamEncoder;
+//! use nc_rlnc::CodingConfig;
+//! use std::sync::Arc;
+//! use std::time::Instant;
+//!
+//! let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+//! let encoder = Arc::new(StreamEncoder::new(CodingConfig::new(8, 128)?, &data)?);
+//!
+//! let (tx_end, rx_end) = memory_pair();
+//! // 10% loss on the data path, deterministic under seed 7.
+//! let mut tx_end = FaultyChannel::new(tx_end, FaultProfile::lossy(0.10), 7);
+//! let receiver = std::thread::spawn(move || {
+//!     let mut rx_end = rx_end;
+//!     let mut session = ReceiverSession::new(1, ReceiverConfig::default(), Instant::now());
+//!     run_receiver(&mut rx_end, &mut session).unwrap();
+//!     session.into_recovered()
+//! });
+//! let report = send_stream(&mut tx_end, encoder, 1, SenderConfig::default(), 42)?;
+//! assert_eq!(receiver.join().unwrap().unwrap(), data);
+//! assert!(report.overhead_ratio().unwrap() >= 1.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod pacing;
+pub mod receiver;
+pub mod sender;
+pub mod server;
+pub mod session;
+pub mod wire;
+
+pub use channel::{
+    memory_pair, Channel, FaultProfile, FaultStats, FaultyChannel, MemoryChannel, UdpChannel,
+};
+pub use receiver::{
+    run_receiver, ReceiverConfig, ReceiverOutcome, ReceiverReport, ReceiverSession,
+};
+pub use sender::{run_sender, send_stream};
+pub use server::{ServedTransfer, Server, ServerConfig};
+pub use session::{SenderConfig, SenderOutcome, SenderReport, SenderSession};
+pub use wire::{Datagram, Payload, SegmentBitmap, StreamMeta, WireError};

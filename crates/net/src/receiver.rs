@@ -1,0 +1,485 @@
+//! The receiving side: a sans-I/O session that turns hostile datagrams
+//! into a decoded stream, plus a blocking driver over any
+//! [`Channel`](crate::channel::Channel).
+//!
+//! The receiver requests the stream, learns its shape from the announce,
+//! absorbs coded frames into an [`StreamDecoder`], and feeds completion
+//! back: small ACK datagrams carrying cumulative counters and a
+//! per-segment bitmap (so the sender stops spending encode budget on
+//! finished segments), then a FIN burst once the stream is bit-exact.
+//! Corrupted, truncated, alien, and replayed datagrams are counted and
+//! dropped — never trusted.
+
+use nc_rlnc::stream::{StreamDecoder, StreamFrame};
+use nc_rlnc::CodingConfig;
+use std::io;
+use std::time::{Duration, Instant};
+
+use crate::channel::Channel;
+use crate::wire::{Datagram, Payload, SegmentBitmap, StreamMeta, WireError};
+
+/// Tuning knobs for a receiver session.
+#[derive(Clone, Debug)]
+pub struct ReceiverConfig {
+    /// Send an ACK after this many data datagrams.
+    pub ack_every: u64,
+    /// Also ACK at least this often while data is flowing.
+    pub ack_interval: Duration,
+    /// Re-send the initial request at this interval until announced.
+    pub request_interval: Duration,
+    /// How many times to repeat the final FIN (it may be lost).
+    pub fin_repeats: u32,
+    /// Abort after this long without any valid sender datagram.
+    pub idle_timeout: Duration,
+    /// Hard cap on the whole transfer.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for ReceiverConfig {
+    fn default() -> ReceiverConfig {
+        ReceiverConfig {
+            ack_every: 8,
+            ack_interval: Duration::from_millis(10),
+            request_interval: Duration::from_millis(20),
+            fin_repeats: 3,
+            idle_timeout: Duration::from_secs(5),
+            deadline: None,
+        }
+    }
+}
+
+/// What the driver should do next.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReceiverEvent {
+    /// Put these bytes on the wire (request/ACK/FIN).
+    Transmit(Vec<u8>),
+    /// Wait (and poll the channel) this long.
+    Wait(Duration),
+    /// The session is over; collect data and report.
+    Finished,
+}
+
+/// How a receiver session ended.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ReceiverOutcome {
+    /// The stream decoded completely.
+    Completed,
+    /// No valid sender datagram for `idle_timeout`.
+    IdleTimeout,
+    /// The overall `deadline` elapsed.
+    DeadlineExceeded,
+}
+
+/// Final receiver-side statistics.
+#[derive(Clone, Debug)]
+pub struct ReceiverReport {
+    /// How the session ended.
+    pub outcome: ReceiverOutcome,
+    /// Data datagrams that arrived intact and parsed.
+    pub received: u64,
+    /// Frames that increased decoder rank.
+    pub innovative: u64,
+    /// Datagrams rejected by the checksum (bit damage in flight).
+    pub corrupt: u64,
+    /// Datagrams with foreign magic/version/session.
+    pub alien: u64,
+    /// Datagrams whose payload failed to parse after the checksum passed.
+    pub malformed: u64,
+    /// Data frames that arrived before the announce (undecodable; lost).
+    pub pre_announce: u64,
+    /// ACK datagrams sent.
+    pub acks_sent: u64,
+    /// Time from the first data frame to full decode, if completed.
+    pub decode_latency: Option<Duration>,
+}
+
+enum State {
+    AwaitAnnounce {
+        last_request: Option<Instant>,
+    },
+    Receiving {
+        coding: CodingConfig,
+        decoder: StreamDecoder,
+        completed: SegmentBitmap,
+        innovative_per_segment: Vec<usize>,
+    },
+    Done {
+        data: Vec<u8>,
+        fins_sent: u32,
+    },
+}
+
+/// The sans-I/O receiver state machine (see module docs).
+pub struct ReceiverSession {
+    session: u64,
+    config: ReceiverConfig,
+    state: State,
+    received: u64,
+    innovative: u64,
+    corrupt: u64,
+    alien: u64,
+    malformed: u64,
+    pre_announce: u64,
+    acks_sent: u64,
+    since_ack: u64,
+    ack_pending: bool,
+    last_ack_at: Option<Instant>,
+    started: Instant,
+    last_activity: Instant,
+    first_data_at: Option<Instant>,
+    completed_at: Option<Instant>,
+    outcome: Option<ReceiverOutcome>,
+}
+
+impl ReceiverSession {
+    /// A session expecting stream `session` from the peer.
+    pub fn new(session: u64, config: ReceiverConfig, now: Instant) -> ReceiverSession {
+        ReceiverSession {
+            session,
+            config,
+            state: State::AwaitAnnounce { last_request: None },
+            received: 0,
+            innovative: 0,
+            corrupt: 0,
+            alien: 0,
+            malformed: 0,
+            pre_announce: 0,
+            acks_sent: 0,
+            since_ack: 0,
+            ack_pending: false,
+            last_ack_at: None,
+            started: now,
+            last_activity: now,
+            first_data_at: None,
+            completed_at: None,
+            outcome: None,
+        }
+    }
+
+    /// Whether the stream decoded completely.
+    pub fn is_complete(&self) -> bool {
+        matches!(self.state, State::Done { .. })
+    }
+
+    /// The recovered stream, once complete.
+    pub fn recovered(&self) -> Option<&[u8]> {
+        match &self.state {
+            State::Done { data, .. } => Some(data),
+            _ => None,
+        }
+    }
+
+    /// Consumes the session, returning the recovered bytes if complete.
+    pub fn into_recovered(self) -> Option<Vec<u8>> {
+        match self.state {
+            State::Done { data, .. } => Some(data),
+            _ => None,
+        }
+    }
+
+    /// Feeds one raw datagram off the wire into the session. Total over
+    /// arbitrary bytes: anything unparseable is counted and dropped.
+    pub fn handle_bytes(&mut self, bytes: &[u8], now: Instant) {
+        let datagram = match Datagram::decode(bytes) {
+            Ok(d) => d,
+            Err(WireError::ChecksumMismatch) => {
+                self.corrupt += 1;
+                return;
+            }
+            Err(
+                WireError::BadMagic | WireError::BadVersion { .. } | WireError::TooShort { .. },
+            ) => {
+                self.alien += 1;
+                return;
+            }
+            Err(_) => {
+                self.malformed += 1;
+                return;
+            }
+        };
+        if datagram.session != self.session {
+            self.alien += 1;
+            return;
+        }
+        match datagram.payload {
+            Payload::Announce(meta) => {
+                self.last_activity = now;
+                self.start_receiving(meta);
+            }
+            Payload::Data(frame_bytes) => {
+                self.last_activity = now;
+                self.handle_frame(&frame_bytes, now);
+            }
+            // Receiver-role traffic reflected back (or a confused peer).
+            Payload::Request | Payload::Ack { .. } | Payload::Fin { .. } => {}
+        }
+    }
+
+    /// Advances the state machine (see [`ReceiverEvent`]).
+    pub fn poll(&mut self, now: Instant) -> ReceiverEvent {
+        if self.outcome.is_some() {
+            return ReceiverEvent::Finished;
+        }
+        if let Some(deadline) = self.config.deadline {
+            if now.duration_since(self.started) >= deadline {
+                self.outcome = Some(ReceiverOutcome::DeadlineExceeded);
+                return ReceiverEvent::Finished;
+            }
+        }
+        match &mut self.state {
+            State::Done { fins_sent, .. } => {
+                if *fins_sent < self.config.fin_repeats {
+                    *fins_sent += 1;
+                    let bytes = Datagram::new(
+                        self.session,
+                        Payload::Fin { received: self.received, innovative: self.innovative },
+                    )
+                    .encode()
+                    .expect("fin datagrams are small");
+                    ReceiverEvent::Transmit(bytes)
+                } else {
+                    self.outcome = Some(ReceiverOutcome::Completed);
+                    ReceiverEvent::Finished
+                }
+            }
+            State::AwaitAnnounce { last_request } => {
+                if now.duration_since(self.last_activity) >= self.config.idle_timeout {
+                    self.outcome = Some(ReceiverOutcome::IdleTimeout);
+                    return ReceiverEvent::Finished;
+                }
+                let due = last_request
+                    .is_none_or(|at| now.duration_since(at) >= self.config.request_interval);
+                if due {
+                    *last_request = Some(now);
+                    let bytes = Datagram::new(self.session, Payload::Request)
+                        .encode()
+                        .expect("request datagrams are small");
+                    ReceiverEvent::Transmit(bytes)
+                } else {
+                    ReceiverEvent::Wait(self.config.request_interval)
+                }
+            }
+            State::Receiving { completed, .. } => {
+                if now.duration_since(self.last_activity) >= self.config.idle_timeout {
+                    self.outcome = Some(ReceiverOutcome::IdleTimeout);
+                    return ReceiverEvent::Finished;
+                }
+                // Periodic even with zero frames received: a "nothing
+                // arrived" ACK is what lets the sender's loss estimate
+                // catch up with a burst of drops and reopen its window.
+                let interval_due = self
+                    .last_ack_at
+                    .is_none_or(|at| now.duration_since(at) >= self.config.ack_interval);
+                if self.ack_pending || self.since_ack >= self.config.ack_every || interval_due {
+                    let bytes = Datagram::new(
+                        self.session,
+                        Payload::Ack {
+                            received: self.received,
+                            innovative: self.innovative,
+                            completed: completed.clone(),
+                        },
+                    )
+                    .encode()
+                    .expect("ack datagrams are small per MAX_SEGMENTS");
+                    self.acks_sent += 1;
+                    self.since_ack = 0;
+                    self.ack_pending = false;
+                    self.last_ack_at = Some(now);
+                    ReceiverEvent::Transmit(bytes)
+                } else {
+                    ReceiverEvent::Wait(self.config.ack_interval)
+                }
+            }
+        }
+    }
+
+    /// The final report (valid once `poll` returned `Finished`).
+    pub fn report(&self) -> ReceiverReport {
+        ReceiverReport {
+            outcome: self.outcome.unwrap_or(ReceiverOutcome::IdleTimeout),
+            received: self.received,
+            innovative: self.innovative,
+            corrupt: self.corrupt,
+            alien: self.alien,
+            malformed: self.malformed,
+            pre_announce: self.pre_announce,
+            acks_sent: self.acks_sent,
+            decode_latency: match (self.first_data_at, self.completed_at) {
+                (Some(first), Some(done)) => Some(done.duration_since(first)),
+                _ => None,
+            },
+        }
+    }
+
+    fn start_receiving(&mut self, meta: StreamMeta) {
+        if !matches!(self.state, State::AwaitAnnounce { .. }) {
+            return; // already announced; repeats are idempotent
+        }
+        if meta.validate().is_err() {
+            self.malformed += 1;
+            return;
+        }
+        let Ok(coding) = CodingConfig::new(meta.blocks as usize, meta.block_size as usize) else {
+            self.malformed += 1;
+            return;
+        };
+        let segments = meta.total_segments as usize;
+        self.state = State::Receiving {
+            coding,
+            decoder: StreamDecoder::new(coding, segments, meta.original_len as usize),
+            completed: SegmentBitmap::new(segments),
+            innovative_per_segment: vec![0; segments],
+        };
+    }
+
+    fn handle_frame(&mut self, frame_bytes: &[u8], now: Instant) {
+        let State::Receiving { coding, decoder, completed, innovative_per_segment } =
+            &mut self.state
+        else {
+            if matches!(self.state, State::AwaitAnnounce { .. }) {
+                self.pre_announce += 1;
+            }
+            return; // Done: late frames are ignored
+        };
+        let frame = match StreamFrame::from_wire(*coding, frame_bytes) {
+            Ok(frame) => frame,
+            Err(_) => {
+                self.malformed += 1;
+                return;
+            }
+        };
+        let segment = frame.segment as usize;
+        if self.first_data_at.is_none() {
+            self.first_data_at = Some(now);
+        }
+        self.received += 1;
+        self.since_ack += 1;
+        match decoder.push(frame) {
+            Ok(true) => {
+                self.innovative += 1;
+                innovative_per_segment[segment] += 1;
+                if innovative_per_segment[segment] == coding.blocks() {
+                    completed.set(segment);
+                    self.ack_pending = true; // tell the sender immediately
+                    if decoder.is_complete() {
+                        let data = decoder.recover().expect("complete stream recovers");
+                        self.completed_at = Some(now);
+                        self.ack_pending = false;
+                        self.state = State::Done { data, fins_sent: 0 };
+                    }
+                }
+            }
+            Ok(false) => {} // non-innovative: counted via received - innovative
+            Err(_) => self.malformed += 1, // out-of-range segment index etc.
+        }
+    }
+}
+
+/// Drives a [`ReceiverSession`] over a channel until it finishes,
+/// returning the recovered bytes (if any) and the report.
+///
+/// # Errors
+///
+/// Propagates channel I/O errors (datagram loss is not an error).
+pub fn run_receiver<C: Channel>(
+    channel: &mut C,
+    session: &mut ReceiverSession,
+) -> io::Result<ReceiverReport> {
+    loop {
+        let now = Instant::now();
+        match session.poll(now) {
+            ReceiverEvent::Transmit(bytes) => {
+                channel.send(&bytes)?;
+                // Stay live: drain anything that arrived meanwhile.
+                while let Some(incoming) = channel.recv_timeout(Duration::ZERO)? {
+                    session.handle_bytes(&incoming, Instant::now());
+                }
+            }
+            ReceiverEvent::Wait(timeout) => {
+                if let Some(incoming) = channel.recv_timeout(timeout)? {
+                    session.handle_bytes(&incoming, Instant::now());
+                    while let Some(more) = channel.recv_timeout(Duration::ZERO)? {
+                        session.handle_bytes(&more, Instant::now());
+                    }
+                }
+            }
+            ReceiverEvent::Finished => return Ok(session.report()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn announce() -> Datagram {
+        Datagram::new(
+            5,
+            Payload::Announce(StreamMeta {
+                blocks: 4,
+                block_size: 16,
+                total_segments: 2,
+                original_len: 100,
+            }),
+        )
+    }
+
+    #[test]
+    fn requests_until_announced_then_acks() {
+        let t0 = Instant::now();
+        let mut r = ReceiverSession::new(5, ReceiverConfig::default(), t0);
+        let ReceiverEvent::Transmit(bytes) = r.poll(t0) else { panic!("expected request") };
+        assert!(matches!(Datagram::decode(&bytes).unwrap().payload, Payload::Request));
+        // Second poll inside the request interval waits.
+        assert!(matches!(r.poll(t0), ReceiverEvent::Wait(_)));
+        r.handle_bytes(&announce().encode().unwrap(), t0);
+        assert!(!r.is_complete());
+    }
+
+    #[test]
+    fn hostile_announces_are_rejected() {
+        let t0 = Instant::now();
+        let mut r = ReceiverSession::new(5, ReceiverConfig::default(), t0);
+        let hostile = Datagram::new(
+            5,
+            Payload::Announce(StreamMeta {
+                blocks: u32::MAX,
+                block_size: u32::MAX,
+                total_segments: u32::MAX,
+                original_len: u64::MAX,
+            }),
+        );
+        r.handle_bytes(&hostile.encode().unwrap(), t0);
+        assert_eq!(r.report().malformed, 1);
+        // Still awaiting a sane announce.
+        let ReceiverEvent::Transmit(bytes) = r.poll(t0 + Duration::from_millis(25)) else {
+            panic!("expected request retry")
+        };
+        assert!(matches!(Datagram::decode(&bytes).unwrap().payload, Payload::Request));
+    }
+
+    #[test]
+    fn garbage_bytes_are_counted_not_fatal() {
+        let t0 = Instant::now();
+        let mut r = ReceiverSession::new(5, ReceiverConfig::default(), t0);
+        r.handle_bytes(b"", t0);
+        r.handle_bytes(b"total garbage that is long enough to look like a header", t0);
+        let mut corrupted = announce().encode().unwrap();
+        corrupted[23] ^= 0x40;
+        r.handle_bytes(&corrupted, t0);
+        let report = r.report();
+        assert_eq!(report.alien, 2);
+        assert_eq!(report.corrupt, 1);
+    }
+
+    #[test]
+    fn idle_timeout_finishes_incomplete() {
+        let t0 = Instant::now();
+        let config =
+            ReceiverConfig { idle_timeout: Duration::from_millis(10), ..Default::default() };
+        let mut r = ReceiverSession::new(5, config, t0);
+        assert_eq!(r.poll(t0 + Duration::from_millis(50)), ReceiverEvent::Finished);
+        assert_eq!(r.report().outcome, ReceiverOutcome::IdleTimeout);
+        assert!(r.recovered().is_none());
+    }
+}

@@ -1,0 +1,353 @@
+//! Multi-receiver serving: one UDP socket, many concurrent
+//! [`SenderSession`]s — the "seed node pushing to a swarm" role from the
+//! paper's Avalanche-style deployment, scaled down to a single box.
+//!
+//! The server publishes streams under session ids. Any receiver that sends
+//! a `Request` for a published id gets its own independent sender session
+//! keyed by `(peer address, session id)`; sessions multiplex over the one
+//! socket and are polled round-robin with bounded per-step bursts so a
+//! fast peer cannot starve a slow one. Outgoing datagrams can optionally
+//! pass through a seeded [`FaultInjector`] — the same fault model the
+//! in-process tests use, applied per-destination.
+
+use nc_rlnc::stream::StreamEncoder;
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::channel::{FaultInjector, FaultProfile, FaultStats};
+use crate::session::{SenderConfig, SenderEvent, SenderReport, SenderSession};
+use crate::wire::{Datagram, Payload, MAX_DATAGRAM_BYTES};
+
+/// Tuning knobs for the server loop.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Per-session sender tuning (pacing, redundancy, timeouts).
+    pub sender: SenderConfig,
+    /// Seeded fault profile applied to *outgoing* datagrams, if any.
+    pub faults: Option<(FaultProfile, u64)>,
+    /// Max coded frames one session may emit per scheduling step (fairness
+    /// bound across concurrent receivers).
+    pub burst_per_step: u32,
+    /// Receive-poll granularity when every session is waiting.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            sender: SenderConfig::default(),
+            faults: None,
+            burst_per_step: 32,
+            poll_interval: Duration::from_millis(2),
+        }
+    }
+}
+
+/// One completed (or timed-out) transfer.
+#[derive(Clone, Debug)]
+pub struct ServedTransfer {
+    /// The receiver the stream was pushed to.
+    pub peer: SocketAddr,
+    /// The session id served.
+    pub session: u64,
+    /// Full sender-side statistics for the transfer.
+    pub report: SenderReport,
+}
+
+/// A multi-receiver coded-transport server on one UDP socket.
+pub struct Server {
+    socket: UdpSocket,
+    config: ServerConfig,
+    content: HashMap<u64, Arc<StreamEncoder>>,
+    sessions: HashMap<(SocketAddr, u64), SenderSession>,
+    finished: Vec<ServedTransfer>,
+    injector: Option<FaultInjector<SocketAddr>>,
+    session_seed: u64,
+    buf: Vec<u8>,
+    /// Last-applied read mode (`None` = nonblocking); avoids two
+    /// mode-change syscalls per received datagram in the serve loop.
+    read_mode: Option<Option<Duration>>,
+}
+
+impl Server {
+    /// Binds a server socket.
+    ///
+    /// # Errors
+    ///
+    /// Any socket bind error.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Server> {
+        let socket = UdpSocket::bind(addr)?;
+        let injector = config.faults.map(|(profile, seed)| FaultInjector::new(profile, seed));
+        Ok(Server {
+            socket,
+            config,
+            content: HashMap::new(),
+            sessions: HashMap::new(),
+            finished: Vec::new(),
+            injector,
+            session_seed: 0,
+            buf: vec![0u8; MAX_DATAGRAM_BYTES],
+            read_mode: None,
+        })
+    }
+
+    /// The bound address (receivers request from here).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `UdpSocket::local_addr` errors.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// Publishes a stream under `session` id; subsequent `Request`s for it
+    /// spawn sender sessions.
+    pub fn publish(&mut self, session: u64, encoder: Arc<StreamEncoder>) {
+        self.content.insert(session, encoder);
+    }
+
+    /// Sessions currently in flight.
+    pub fn active_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Transfers finished so far (completed or timed out).
+    pub fn finished_transfers(&self) -> &[ServedTransfer] {
+        &self.finished
+    }
+
+    /// Outgoing fault counters, if fault injection is on.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.injector.as_ref().map(FaultInjector::stats)
+    }
+
+    /// Serves until `expected` transfers have finished or `deadline`
+    /// passes, returning every finished transfer's report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket I/O errors (datagram loss is not an error).
+    pub fn serve(
+        &mut self,
+        expected: usize,
+        deadline: Duration,
+    ) -> io::Result<Vec<ServedTransfer>> {
+        let start = Instant::now();
+        while self.finished.len() < expected && start.elapsed() < deadline {
+            self.step()?;
+        }
+        // Anything the fault model still holds is moot once serving stops.
+        if let Some(injector) = &mut self.injector {
+            injector.flush();
+        }
+        Ok(std::mem::take(&mut self.finished))
+    }
+
+    /// One scheduling step: drain the socket, advance every session, reap
+    /// finished ones. Public so callers can build custom serve loops.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket I/O errors.
+    pub fn step(&mut self) -> io::Result<()> {
+        // Block briefly for the first datagram, then drain without waiting.
+        let mut timeout = self.config.poll_interval;
+        while let Some((peer, len)) = self.recv_one(timeout)? {
+            let bytes = self.buf[..len].to_vec();
+            self.dispatch(peer, &bytes);
+            timeout = Duration::ZERO;
+        }
+
+        let now = Instant::now();
+        let keys: Vec<(SocketAddr, u64)> = self.sessions.keys().copied().collect();
+        for key in keys {
+            self.advance_session(key, now)?;
+        }
+        Ok(())
+    }
+
+    fn advance_session(&mut self, key: (SocketAddr, u64), now: Instant) -> io::Result<()> {
+        let mut burst = 0;
+        loop {
+            let Some(session) = self.sessions.get_mut(&key) else { return Ok(()) };
+            match session.poll(now) {
+                SenderEvent::Transmit(bytes) => {
+                    self.transmit(key.0, &bytes)?;
+                    burst += 1;
+                    if burst >= self.config.burst_per_step {
+                        return Ok(()); // fairness: let other sessions run
+                    }
+                }
+                SenderEvent::Wait(_) => return Ok(()),
+                SenderEvent::Finished => {
+                    let session = self.sessions.remove(&key).expect("session present");
+                    self.finished.push(ServedTransfer {
+                        peer: key.0,
+                        session: key.1,
+                        report: session.report(now),
+                    });
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, peer: SocketAddr, bytes: &[u8]) {
+        // Malformed traffic on a public socket is routine; drop silently.
+        let Ok(datagram) = Datagram::decode(bytes) else { return };
+        let key = (peer, datagram.session);
+        let now = Instant::now();
+        if let Some(session) = self.sessions.get_mut(&key) {
+            session.handle_datagram(&datagram, now);
+            return;
+        }
+        // A new request for published content spawns a session; anything
+        // else without a session (stale ACK/FIN after reap) is ignored.
+        if matches!(datagram.payload, Payload::Request) {
+            if let Some(encoder) = self.content.get(&datagram.session) {
+                self.session_seed += 1;
+                if let Ok(mut session) = SenderSession::new(
+                    Arc::clone(encoder),
+                    datagram.session,
+                    self.config.sender.clone(),
+                    self.session_seed,
+                    now,
+                ) {
+                    session.handle_datagram(&datagram, now);
+                    self.sessions.insert(key, session);
+                }
+            }
+        }
+    }
+
+    fn transmit(&mut self, peer: SocketAddr, bytes: &[u8]) -> io::Result<()> {
+        match &mut self.injector {
+            Some(injector) => {
+                for (to, wire) in injector.admit(peer, bytes) {
+                    self.send_to(&wire, to)?;
+                }
+            }
+            None => self.send_to(bytes, peer)?,
+        }
+        Ok(())
+    }
+
+    fn send_to(&self, bytes: &[u8], peer: SocketAddr) -> io::Result<()> {
+        match self.socket.send_to(bytes, peer) {
+            Ok(_) => Ok(()),
+            // ICMP unreachable from an earlier send: loss, not failure.
+            Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn recv_one(&mut self, timeout: Duration) -> io::Result<Option<(SocketAddr, usize)>> {
+        let want = if timeout.is_zero() { None } else { Some(timeout) };
+        if self.read_mode != Some(want) {
+            match want {
+                None => self.socket.set_nonblocking(true)?,
+                Some(t) => {
+                    self.socket.set_nonblocking(false)?;
+                    self.socket.set_read_timeout(Some(t))?;
+                }
+            }
+            self.read_mode = Some(want);
+        }
+        match self.socket.recv_from(&mut self.buf) {
+            Ok((len, peer)) => Ok(Some((peer, len))),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::ConnectionRefused
+                ) =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::UdpChannel;
+    use crate::receiver::{run_receiver, ReceiverConfig, ReceiverSession};
+    use nc_rlnc::CodingConfig;
+
+    fn stream(len: usize, fill: impl Fn(usize) -> u8) -> (Arc<StreamEncoder>, Vec<u8>) {
+        let config = CodingConfig::new(8, 256).unwrap();
+        let data: Vec<u8> = (0..len).map(fill).collect();
+        (Arc::new(StreamEncoder::new(config, &data).unwrap()), data)
+    }
+
+    fn receive(server: SocketAddr, session: u64) -> (Option<Vec<u8>>, u64) {
+        let mut channel = UdpChannel::connect("127.0.0.1:0", server).unwrap();
+        let mut rx = ReceiverSession::new(session, ReceiverConfig::default(), Instant::now());
+        run_receiver(&mut channel, &mut rx).unwrap();
+        let innovative = rx.report().innovative;
+        (rx.into_recovered(), innovative)
+    }
+
+    #[test]
+    fn serves_two_concurrent_receivers_from_one_socket() {
+        let (encoder, data) = stream(40_000, |i| (i % 241) as u8);
+        let mut server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+        server.publish(9, Arc::clone(&encoder));
+        let addr = server.local_addr().unwrap();
+
+        let handles: Vec<_> =
+            (0..2).map(|_| std::thread::spawn(move || receive(addr, 9))).collect();
+        let transfers = server.serve(2, Duration::from_secs(30)).unwrap();
+
+        for handle in handles {
+            let (recovered, _) = handle.join().unwrap();
+            assert_eq!(recovered.as_deref(), Some(data.as_slice()), "bit-exact recovery");
+        }
+        assert_eq!(transfers.len(), 2);
+        let peers: std::collections::HashSet<_> = transfers.iter().map(|t| t.peer).collect();
+        assert_eq!(peers.len(), 2, "one session per receiver");
+        for t in &transfers {
+            assert!(t.report.overhead_ratio().is_some());
+            assert_eq!(t.report.segments_completed, t.report.segments_total);
+        }
+    }
+
+    #[test]
+    fn survives_outgoing_faults() {
+        let (encoder, data) = stream(20_000, |i| (i % 199) as u8);
+        let config =
+            ServerConfig { faults: Some((FaultProfile::hostile(0.2), 11)), ..Default::default() };
+        let mut server = Server::bind("127.0.0.1:0", config).unwrap();
+        server.publish(3, encoder);
+        let addr = server.local_addr().unwrap();
+
+        let handle = std::thread::spawn(move || receive(addr, 3));
+        let transfers = server.serve(1, Duration::from_secs(30)).unwrap();
+        let (recovered, _) = handle.join().unwrap();
+
+        assert_eq!(recovered.as_deref(), Some(data.as_slice()));
+        assert_eq!(transfers.len(), 1);
+        let stats = server.fault_stats().unwrap();
+        assert!(stats.dropped > 0, "fault model was exercised: {stats:?}");
+    }
+
+    #[test]
+    fn unknown_session_requests_are_ignored() {
+        let mut server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let client = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let request = Datagram::new(12345, Payload::Request).encode().unwrap();
+        client.send_to(&request, addr).unwrap();
+        client.send_to(b"not a datagram at all", addr).unwrap();
+        for _ in 0..5 {
+            server.step().unwrap();
+        }
+        assert_eq!(server.active_sessions(), 0);
+    }
+}

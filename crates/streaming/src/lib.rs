@@ -17,6 +17,9 @@
 //!   1385 / 1844 / 3000-peer claims.
 //! * [`server`] — a tick-driven streaming server combining all of the
 //!   above, with live and VoD service modes.
+//! * [`transport`] — real-socket delivery: media published through the
+//!   UDP coded transport ([`nc_net`]) at profile-derived pace, with
+//!   per-transfer goodput assessment against the stream bitrate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,9 +29,11 @@ pub mod capacity;
 pub mod media;
 pub mod nic;
 pub mod server;
+pub mod transport;
 
 pub use backend::{CodingBackend, CpuModelBackend, GpuBackend, HostCpuBackend, HybridBackend};
 pub use capacity::CapacityPlan;
 pub use media::StreamProfile;
 pub use nic::Nic;
 pub use server::{ServiceMode, StreamingServer};
+pub use transport::{assess, sender_config_for, DeliveryAssessment, MediaTransport};

@@ -12,6 +12,7 @@
 //! | [`cpu`] | Real multi-threaded CPU coding |
 //! | [`cpu_model`] | The analytic Mac Pro baseline model |
 //! | [`streaming`] | The network-coded streaming server |
+//! | [`net`] | Lossy-datagram coded transport: UDP, fault injection, sessions |
 //! | [`p2p`] | The Avalanche-style content-distribution swarm |
 //!
 //! Start with the runnable examples:
@@ -22,6 +23,7 @@
 //! cargo run --release --example p2p_swarm
 //! cargo run --release --example gpu_pipeline
 //! cargo run --release --example file_transfer
+//! cargo run --release --example udp_file_transfer
 //! ```
 //!
 //! and reproduce the paper's figures with
@@ -35,6 +37,7 @@ pub use nc_cpu_model as cpu_model;
 pub use nc_gf256 as gf256;
 pub use nc_gpu as gpu;
 pub use nc_gpu_sim as gpu_sim;
+pub use nc_net as net;
 pub use nc_p2p as p2p;
 pub use nc_rlnc as rlnc;
 pub use nc_streaming as streaming;
@@ -44,6 +47,7 @@ pub mod prelude {
     pub use nc_gf256::Gf8;
     pub use nc_gpu::{Fidelity, GpuEncoder, GpuMultiDecoder, GpuProgressiveDecoder, TableVariant};
     pub use nc_gpu_sim::{DeviceSpec, Gpu, GridConfig};
+    pub use nc_net::{FaultProfile, ReceiverSession, SenderSession};
     pub use nc_rlnc::prelude::*;
 }
 

@@ -1,0 +1,268 @@
+//! End-to-end acceptance tests for the UDP coded transport: the loss
+//! matrix (drop × reorder × duplication, seeded and reproducible), a
+//! multi-megabyte real-socket loopback transfer, hostile-input fuzzing of
+//! the wire path, and the encoder's `Sync` contract.
+//!
+//! Everything recovers via rateless coding only — there is no
+//! retransmission path in the transport to fall back on.
+
+use extreme_nc::net::channel::{memory_pair, Channel, FaultProfile, FaultyChannel, UdpChannel};
+use extreme_nc::net::receiver::{run_receiver, ReceiverConfig, ReceiverSession};
+use extreme_nc::net::sender::send_stream;
+use extreme_nc::net::session::{SenderConfig, SenderOutcome, SenderReport};
+use extreme_nc::net::wire::Datagram;
+use extreme_nc::rlnc::stream::{StreamEncoder, StreamFrame};
+use extreme_nc::rlnc::CodingConfig;
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Deterministic pseudo-random payload (no RNG: content is part of the
+/// test vector).
+fn payload(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i.wrapping_mul(2654435761) >> 7) as u8).collect()
+}
+
+fn sender_config(loss_prior: f64, pace: f64) -> SenderConfig {
+    SenderConfig {
+        pace_bytes_per_s: Some(pace),
+        burst_bytes: 64.0 * 1024.0,
+        initial_loss: loss_prior,
+        idle_timeout: Duration::from_secs(10),
+        deadline: Some(Duration::from_secs(60)),
+        ..SenderConfig::default()
+    }
+}
+
+fn receiver_config() -> ReceiverConfig {
+    ReceiverConfig {
+        idle_timeout: Duration::from_secs(10),
+        deadline: Some(Duration::from_secs(60)),
+        ..ReceiverConfig::default()
+    }
+}
+
+/// Runs one transfer through a fault profile on the data path over an
+/// in-process pair; returns the sender report and recovered bytes.
+fn transfer_through(
+    data: &[u8],
+    coding: CodingConfig,
+    profile: FaultProfile,
+    seed: u64,
+    loss_prior: f64,
+) -> (SenderReport, Option<Vec<u8>>) {
+    let encoder = Arc::new(StreamEncoder::new(coding, data).expect("non-empty"));
+    let (tx_end, rx_end) = memory_pair();
+    let mut tx_end = FaultyChannel::new(tx_end, profile, seed);
+
+    let receiver = std::thread::spawn(move || {
+        let mut rx_end = rx_end;
+        let mut session = ReceiverSession::new(1, receiver_config(), Instant::now());
+        run_receiver(&mut rx_end, &mut session).expect("memory channel never errors");
+        session.into_recovered()
+    });
+    let report = send_stream(&mut tx_end, encoder, 1, sender_config(loss_prior, 16.0e6), seed)
+        .expect("memory channel never errors");
+    (report, receiver.join().expect("receiver thread"))
+}
+
+#[test]
+fn loss_matrix_recovers_bit_exact_within_overhead_bounds() {
+    // (drop rate, overhead bound). The hostile profile stacks reordering,
+    // duplication, and 1% bit corruption on top of every drop rate, so the
+    // bounds leave room above the ideal 1/(1-p).
+    let matrix = [(0.00, 1.15), (0.05, 1.25), (0.20, 1.45), (0.40, 2.00)];
+    let coding = CodingConfig::new(16, 512).expect("valid");
+    let data = payload(200_000); // 25 segments
+
+    for (round, (drop, bound)) in matrix.into_iter().enumerate() {
+        let profile = FaultProfile::hostile(drop);
+        let (report, recovered) =
+            transfer_through(&data, coding, profile, 1000 + round as u64, drop);
+        assert_eq!(
+            recovered.as_deref(),
+            Some(data.as_slice()),
+            "bit-exact recovery at {}% drop",
+            drop * 100.0
+        );
+        assert_eq!(report.outcome, SenderOutcome::Completed);
+        let overhead = report.overhead_ratio().expect("innovative frames reported");
+        assert!(
+            overhead < bound,
+            "overhead {overhead:.3} >= {bound} at {}% drop ({report:?})",
+            drop * 100.0
+        );
+        assert_eq!(report.segments_completed, report.segments_total);
+    }
+}
+
+#[test]
+fn transfer_survives_ack_loss_on_the_reverse_path() {
+    // 10% hostile data path AND 30% loss on the feedback path: the stall
+    // trickle plus repeated announce/FIN keep the session live.
+    let coding = CodingConfig::new(16, 512).expect("valid");
+    let data = payload(100_000);
+    let encoder = Arc::new(StreamEncoder::new(coding, &data).expect("non-empty"));
+    let (tx_end, rx_end) = memory_pair();
+    let mut tx_end = FaultyChannel::new(tx_end, FaultProfile::hostile(0.10), 7);
+    let mut rx_end = FaultyChannel::new(rx_end, FaultProfile::lossy(0.30), 8);
+
+    let receiver = std::thread::spawn(move || {
+        let mut session = ReceiverSession::new(2, receiver_config(), Instant::now());
+        run_receiver(&mut rx_end, &mut session).expect("memory channel never errors");
+        session.into_recovered()
+    });
+    let report = send_stream(&mut tx_end, encoder, 2, sender_config(0.10, 16.0e6), 7)
+        .expect("memory channel never errors");
+    assert_eq!(receiver.join().expect("join").as_deref(), Some(data.as_slice()));
+    assert_eq!(report.outcome, SenderOutcome::Completed);
+}
+
+#[test]
+fn four_megabytes_over_real_udp_at_twenty_percent_loss() {
+    // The ISSUE's flagship acceptance: a multi-segment, >= 4 MB stream over
+    // a real UdpSocket pair on 127.0.0.1, 20% loss plus reordering injected
+    // by a seeded FaultyChannel around the sender's socket. Recovery is
+    // rateless only, and the overhead ratio must stay under 1.35.
+    let coding = CodingConfig::new(16, 2048).expect("valid"); // 32 KiB segments
+    let data = payload(4 * 1024 * 1024); // 128 segments
+    let encoder = Arc::new(StreamEncoder::new(coding, &data).expect("non-empty"));
+
+    let receiver_socket = std::net::UdpSocket::bind("127.0.0.1:0").expect("bind");
+    let sender_socket = std::net::UdpSocket::bind("127.0.0.1:0").expect("bind");
+    let receiver_addr = receiver_socket.local_addr().expect("addr");
+    let sender_addr = sender_socket.local_addr().expect("addr");
+    receiver_socket.connect(sender_addr).expect("connect");
+    sender_socket.connect(receiver_addr).expect("connect");
+
+    let profile = FaultProfile::lossy(0.20).with_reorder(0.05, 8);
+    let mut tx_end = FaultyChannel::new(UdpChannel::from_socket(sender_socket), profile, 99);
+
+    let receiver = std::thread::spawn(move || {
+        let mut rx_end = UdpChannel::from_socket(receiver_socket);
+        let mut session = ReceiverSession::new(4, receiver_config(), Instant::now());
+        let report = run_receiver(&mut rx_end, &mut session).expect("socket I/O");
+        (session.into_recovered(), report)
+    });
+    let report =
+        send_stream(&mut tx_end, encoder, 4, sender_config(0.20, 32.0e6), 99).expect("socket I/O");
+    let (recovered, rx_report) = receiver.join().expect("receiver thread");
+
+    assert_eq!(recovered.as_deref(), Some(data.as_slice()), "bit-exact over real UDP");
+    assert_eq!(report.outcome, SenderOutcome::Completed);
+    let overhead = report.overhead_ratio().expect("innovative frames reported");
+    assert!(overhead < 1.35, "overhead {overhead:.3} >= 1.35 ({report:?})");
+    assert!(rx_report.decode_latency.is_some(), "decode latency recorded");
+    let stats = tx_end.fault_stats();
+    let observed = stats.dropped as f64 / stats.admitted as f64;
+    assert!((0.15..0.25).contains(&observed), "injected loss was real: {stats:?}");
+}
+
+#[test]
+fn stream_encoder_is_sync() {
+    // Compile-time: one encoder instance may feed many sender threads.
+    fn assert_sync_send<T: Sync + Send>() {}
+    assert_sync_send::<StreamEncoder>();
+    assert_sync_send::<Arc<StreamEncoder>>();
+}
+
+#[test]
+fn receiver_state_machine_swallows_arbitrary_garbage() {
+    // A deterministic sweep (cheap complement to the proptests below):
+    // headers with every kind byte, random lengths, and truncated numbers
+    // must never panic the session.
+    let mut session = ReceiverSession::new(9, ReceiverConfig::default(), Instant::now());
+    for kind in 0u8..=255 {
+        for len in [0usize, 1, 7, 19, 20, 21, 40] {
+            let mut bytes = vec![kind; len];
+            if len >= 4 {
+                bytes[0..4].copy_from_slice(b"NCNC");
+            }
+            session.handle_bytes(&bytes, Instant::now());
+        }
+    }
+    assert!(!session.is_complete());
+}
+
+proptest! {
+    /// Datagram decode is total: arbitrary bytes never panic.
+    #[test]
+    fn datagram_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = Datagram::decode(&bytes);
+    }
+
+    /// StreamFrame parsing is total for any config/byte combination.
+    #[test]
+    fn stream_frame_from_wire_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+        blocks in 1usize..32,
+        block_size in 1usize..64,
+    ) {
+        let config = CodingConfig::new(blocks, block_size).expect("valid");
+        let _ = StreamFrame::from_wire(config, &bytes);
+    }
+
+    /// Every truncation of a valid datagram is rejected, and any bit flip
+    /// is either rejected or (for multi-bit CRC collisions, which a seeded
+    /// run never hits) decodes to something — never a panic, never a
+    /// silent mis-parse of the original.
+    #[test]
+    fn corrupted_datagrams_never_misparse(
+        session in any::<u64>(),
+        data in proptest::collection::vec(any::<u8>(), 1..256),
+        cut in 0usize..100,
+        flip_bit in 0usize..1024,
+    ) {
+        use extreme_nc::net::wire::Payload;
+        let original = Datagram::new(session, Payload::Data(data));
+        let wire = original.encode().expect("in-bounds");
+
+        let cut = cut.min(wire.len().saturating_sub(1));
+        prop_assert!(Datagram::decode(&wire[..cut]).is_err(), "truncation accepted");
+
+        let mut flipped = wire.clone();
+        let bit = flip_bit % (wire.len() * 8);
+        flipped[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(Datagram::decode(&flipped).is_err(), "single bit flip accepted");
+
+        let roundtrip = Datagram::decode(&wire).expect("clean datagram decodes");
+        prop_assert_eq!(roundtrip, original);
+    }
+
+    /// Feeding a live receiver session arbitrary bytes never panics.
+    #[test]
+    fn receiver_session_is_total(
+        datagrams in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..128), 0..32),
+    ) {
+        let mut session = ReceiverSession::new(3, ReceiverConfig::default(), Instant::now());
+        for bytes in &datagrams {
+            session.handle_bytes(bytes, Instant::now());
+        }
+        let _ = session.report();
+    }
+}
+
+#[test]
+fn memory_and_udp_channels_share_semantics() {
+    // The same tiny exchange over both substrates: the Channel seam is
+    // substrate-agnostic, which is what lets the loss matrix (memory) vouch
+    // for the loopback test (UDP).
+    fn exchange<C: Channel>(a: &mut C, b: &mut C) {
+        a.send(b"one").expect("send");
+        a.send(b"two").expect("send");
+        assert_eq!(b.recv_timeout(Duration::from_millis(200)).expect("recv").unwrap(), b"one");
+        assert_eq!(b.recv_timeout(Duration::from_millis(200)).expect("recv").unwrap(), b"two");
+        assert_eq!(b.recv_timeout(Duration::ZERO).expect("poll"), None);
+    }
+    let (mut a, mut b) = memory_pair();
+    exchange(&mut a, &mut b);
+
+    let sa = std::net::UdpSocket::bind("127.0.0.1:0").expect("bind");
+    let sb = std::net::UdpSocket::bind("127.0.0.1:0").expect("bind");
+    sa.connect(sb.local_addr().expect("addr")).expect("connect");
+    sb.connect(sa.local_addr().expect("addr")).expect("connect");
+    let mut ua = UdpChannel::from_socket(sa);
+    let mut ub = UdpChannel::from_socket(sb);
+    exchange(&mut ua, &mut ub);
+}

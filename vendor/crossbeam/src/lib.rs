@@ -47,8 +47,318 @@ pub mod thread {
     pub use super::{scope, Scope, ScopeArg};
 }
 
+pub mod channel {
+    //! Multi-producer multi-consumer channels, shimming the subset of
+    //! `crossbeam-channel` this workspace uses: [`unbounded`], [`bounded`],
+    //! cloneable [`Sender`]/[`Receiver`] handles, blocking, timeout, and
+    //! non-blocking receives, and disconnect detection when either side is
+    //! fully dropped.
+    //!
+    //! Built on `Mutex<VecDeque>` + `Condvar`; upstream's lock-free
+    //! implementation is behaviourally equivalent for these APIs.
+
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Inner<T> {
+        queue: Mutex<VecDeque<T>>,
+        /// Signalled on enqueue, dequeue, and disconnect.
+        changed: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+        capacity: Option<usize>,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone; the
+    /// unsent value is handed back.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`].
+    #[derive(Copy, Clone, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Copy, Clone, Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty (senders still connected).
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Copy, Clone, Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// The sending half of a channel; cloneable (multi-producer).
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half of a channel; cloneable (multi-consumer).
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    impl<T> core::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.pad("Sender { .. }")
+        }
+    }
+
+    impl<T> core::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.pad("Receiver { .. }")
+        }
+    }
+
+    /// Creates a channel with no capacity bound.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// Creates a channel holding at most `cap` queued messages; sends block
+    /// while the channel is full. `cap` must be non-zero (upstream's
+    /// zero-capacity rendezvous channels are not shimmed).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "zero-capacity rendezvous channels are not shimmed");
+        with_capacity(Some(cap))
+    }
+
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            changed: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+            capacity,
+        });
+        (Sender { inner: Arc::clone(&inner) }, Receiver { inner })
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`, blocking while a bounded channel is full.
+        ///
+        /// # Errors
+        ///
+        /// [`SendError`] (returning the value) if every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut queue = self.inner.queue.lock().expect("channel lock poisoned");
+            loop {
+                if self.inner.receivers.load(Ordering::SeqCst) == 0 {
+                    return Err(SendError(value));
+                }
+                match self.inner.capacity {
+                    Some(cap) if queue.len() >= cap => {
+                        queue = self.inner.changed.wait(queue).expect("channel lock poisoned");
+                    }
+                    _ => break,
+                }
+            }
+            queue.push_back(value);
+            drop(queue);
+            self.inner.changed.notify_all();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues the next message, blocking until one arrives.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvError`] if the channel is empty and every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.inner.queue.lock().expect("channel lock poisoned");
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    drop(queue);
+                    self.inner.changed.notify_all();
+                    return Ok(value);
+                }
+                if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self.inner.changed.wait(queue).expect("channel lock poisoned");
+            }
+        }
+
+        /// Dequeues the next message without blocking.
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError::Empty`] when nothing is queued,
+        /// [`TryRecvError::Disconnected`] when additionally no sender
+        /// remains.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut queue = self.inner.queue.lock().expect("channel lock poisoned");
+            if let Some(value) = queue.pop_front() {
+                drop(queue);
+                self.inner.changed.notify_all();
+                return Ok(value);
+            }
+            if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Dequeues the next message, blocking up to `timeout`.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvTimeoutError::Timeout`] if nothing arrived in time,
+        /// [`RecvTimeoutError::Disconnected`] if the channel is empty and
+        /// every sender is gone.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut queue = self.inner.queue.lock().expect("channel lock poisoned");
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    drop(queue);
+                    self.inner.changed.notify_all();
+                    return Ok(value);
+                }
+                if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _result) = self
+                    .inner
+                    .changed
+                    .wait_timeout(queue, deadline - now)
+                    .expect("channel lock poisoned");
+                queue = guard;
+            }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.inner.queue.lock().expect("channel lock poisoned").len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.inner.senders.fetch_add(1, Ordering::SeqCst);
+            Sender { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.inner.receivers.fetch_add(1, Ordering::SeqCst);
+            Receiver { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                self.inner.changed.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.inner.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                self.inner.changed.notify_all();
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use std::time::Duration;
+
+    #[test]
+    fn channel_roundtrip_and_order() {
+        let (tx, rx) = super::channel::unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+        assert_eq!(rx.try_recv(), Err(super::channel::TryRecvError::Empty));
+    }
+
+    #[test]
+    fn channel_timeout_and_disconnect() {
+        let (tx, rx) = super::channel::unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(super::channel::RecvTimeoutError::Timeout)
+        );
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(7));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(super::channel::RecvTimeoutError::Disconnected)
+        );
+        let (tx2, rx2) = super::channel::unbounded::<u32>();
+        drop(rx2);
+        assert_eq!(tx2.send(1), Err(super::channel::SendError(1)));
+    }
+
+    #[test]
+    fn bounded_channel_blocks_until_drained() {
+        let (tx, rx) = super::channel::bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let drainer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Ok(3)); // unblocks the full send below
+        });
+        tx.send(3).unwrap(); // blocks until the drainer makes room
+        drainer.join().unwrap();
+    }
+
+    #[test]
+    fn channel_handles_cross_threads() {
+        let (tx, rx) = super::channel::unbounded();
+        let producers: Vec<_> = (0..4)
+            .map(|t| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100u32 {
+                        tx.send(t * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        assert_eq!(got.len(), 400);
+    }
+
     #[test]
     fn scoped_threads_borrow_and_join() {
         let mut data = vec![1u32, 2, 3, 4];
