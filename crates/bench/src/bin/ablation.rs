@@ -10,4 +10,5 @@ fn main() {
     } else {
         print!("{}", nc_bench::report::ablations());
     }
+    nc_bench::dump_telemetry_if_requested();
 }

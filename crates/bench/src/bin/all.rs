@@ -21,4 +21,5 @@ fn main() {
         println!("=============================== {name} ===============================");
         println!("{report}");
     }
+    nc_bench::dump_telemetry_if_requested();
 }

@@ -89,6 +89,7 @@ fn main() {
         o60s.stage1_share * 100.0,
         to_mb(o60s.rate)
     );
+    nc_bench::dump_telemetry_if_requested();
 }
 
 fn synth_block(n: usize, k: usize, seed: u64) -> (Vec<u8>, Vec<u8>) {

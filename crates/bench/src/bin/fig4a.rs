@@ -4,4 +4,5 @@
 
 fn main() {
     print!("{}", nc_bench::report::fig4a());
+    nc_bench::dump_telemetry_if_requested();
 }

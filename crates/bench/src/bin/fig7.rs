@@ -10,4 +10,5 @@ fn main() {
     } else {
         print!("{}", nc_bench::report::fig7());
     }
+    nc_bench::dump_telemetry_if_requested();
 }

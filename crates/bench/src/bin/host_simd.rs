@@ -6,4 +6,5 @@
 
 fn main() {
     print!("{}", nc_bench::report::host_simd());
+    nc_bench::dump_telemetry_if_requested();
 }

@@ -1,7 +1,10 @@
 //! Loopback goodput vs. loss rate over the real UDP coded transport.
 //!
-//! Run with `cargo run -p nc-bench --release --bin transfer`.
+//! Run with `cargo run -p nc-bench --release --bin transfer`; add
+//! `--telemetry-json <path>` to dump the process-wide metrics snapshot
+//! (counters, loss estimates, pacing-wait histograms) after the run.
 
 fn main() {
     print!("{}", nc_bench::report::transfer());
+    nc_bench::dump_telemetry_if_requested();
 }

@@ -5,8 +5,9 @@
 //! the Sec. 5.1.1 scenario, and `all` to regenerate the data behind
 //! EXPERIMENTS.md. Each binary prints the same series the paper plots.
 //!
-//! Shared here: the configuration grids, series containers, and an aligned
-//! table printer.
+//! Shared here: the configuration grids, series containers, an aligned
+//! table printer, and the `--telemetry-json` snapshot dumper every binary
+//! honors.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -15,6 +16,8 @@ pub mod grids;
 pub mod report;
 pub mod runners;
 pub mod series;
+pub mod telemetry;
 
 pub use grids::{block_sizes, BLOCK_COUNTS};
 pub use series::{format_table, Series};
+pub use telemetry::dump_telemetry_if_requested;

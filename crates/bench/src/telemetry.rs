@@ -1,0 +1,51 @@
+//! Command-line telemetry dumping shared by every bench binary.
+//!
+//! All binaries accept `--telemetry-json <path>`: after the run, the
+//! process-wide [`nc_telemetry`] snapshot is serialized to `<path>` so CI
+//! (or a curious human) can diff counters and latency histograms across
+//! runs without scraping stdout.
+
+use std::io;
+use std::process::exit;
+
+/// Parses `--telemetry-json <path>` (or `--telemetry-json=<path>`) out of
+/// the process arguments. Returns `None` when the flag is absent; exits
+/// with a usage message when the flag is present but malformed.
+pub fn telemetry_path_from_args() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--telemetry-json" {
+            match args.next() {
+                Some(path) => return Some(path),
+                None => {
+                    eprintln!("--telemetry-json requires a path argument");
+                    exit(2);
+                }
+            }
+        } else if let Some(path) = arg.strip_prefix("--telemetry-json=") {
+            return Some(path.to_string());
+        }
+    }
+    None
+}
+
+/// Writes the process-wide telemetry snapshot to `path` as JSON.
+///
+/// # Errors
+///
+/// Any I/O error from creating or writing the file.
+pub fn dump_telemetry(path: &str) -> io::Result<()> {
+    nc_telemetry::snapshot().write_json_file(path)
+}
+
+/// The one-liner every bench `main` calls after its run: if the user asked
+/// for `--telemetry-json <path>`, dump the snapshot there, exiting nonzero
+/// on I/O failure so CI notices.
+pub fn dump_telemetry_if_requested() {
+    if let Some(path) = telemetry_path_from_args() {
+        if let Err(err) = dump_telemetry(&path) {
+            eprintln!("failed to write telemetry snapshot to {path}: {err}");
+            exit(1);
+        }
+    }
+}

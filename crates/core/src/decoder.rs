@@ -104,6 +104,7 @@ impl Decoder {
     pub fn push(&mut self, block: CodedBlock) -> Result<bool, Error> {
         block.check(self.config)?;
         self.stats.received += 1;
+        crate::metrics::metrics().blocks_received.inc();
         let n = self.config.blocks();
         let width = n + self.config.block_size();
 
@@ -126,6 +127,7 @@ impl Decoder {
         // block was linearly dependent.
         let Some(pivot_col) = row[..n].iter().position(|&c| c != 0) else {
             self.stats.discarded_dependent += 1;
+            crate::metrics::metrics().blocks_dependent.inc();
             return Ok(false);
         };
 
@@ -154,6 +156,7 @@ impl Decoder {
         self.pivots.insert(insert_at, pivot_col);
         self.rows.insert(insert_at, row);
         self.stats.innovative += 1;
+        crate::metrics::metrics().blocks_innovative.inc();
         Ok(true)
     }
 

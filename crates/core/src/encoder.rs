@@ -118,6 +118,7 @@ impl Encoder {
         assert!(i < n, "systematic index {i} out of range for n={n}");
         let mut coeffs = vec![0u8; n];
         coeffs[i] = 1;
+        crate::metrics::metrics().blocks_coded.inc();
         CodedBlock::new(coeffs, self.segment.block(i).to_vec())
     }
 
@@ -129,6 +130,7 @@ impl Encoder {
     fn encode_over_sources(&self, sources: &[&[u8]], coefficients: Vec<u8>) -> CodedBlock {
         let mut payload = vec![0u8; self.config().block_size()];
         region::dot_assign_with(self.backend, &mut payload, sources, &coefficients);
+        crate::metrics::metrics().blocks_coded.inc();
         CodedBlock::new(coefficients, payload)
     }
 }

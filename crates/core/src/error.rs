@@ -42,6 +42,14 @@ pub enum Error {
         /// Description of the operation.
         op: &'static str,
     },
+    /// A multi-segment decode failed in one segment; wraps the underlying
+    /// error with the index of the segment that produced it.
+    SegmentDecode {
+        /// Index of the failing segment in the submitted batch.
+        segment: usize,
+        /// The error that segment's decoder returned.
+        source: Box<Error>,
+    },
 }
 
 impl fmt::Display for Error {
@@ -63,11 +71,21 @@ impl fmt::Display for Error {
             Error::DimensionMismatch { op } => {
                 write!(f, "dimension mismatch in {op}")
             }
+            Error::SegmentDecode { segment, source } => {
+                write!(f, "segment {segment} failed to decode: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for Error {}
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::SegmentDecode { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -82,6 +100,7 @@ mod tests {
             Error::RankDeficient { rank: 3, needed: 8 },
             Error::SingularMatrix,
             Error::DimensionMismatch { op: "matmul" },
+            Error::SegmentDecode { segment: 3, source: Box::new(Error::SingularMatrix) },
         ];
         for e in errors {
             let msg = e.to_string();

@@ -58,6 +58,7 @@ pub mod decoder;
 pub mod encoder;
 pub mod error;
 pub mod matrix;
+mod metrics;
 pub mod recoder;
 pub mod segment;
 pub mod stats;

@@ -165,14 +165,19 @@ impl TwoStageDecoder {
         if !self.is_full() {
             return Err(Error::RankDeficient { rank: self.rank, needed: n });
         }
+        let m = crate::metrics::metrics();
         // Stage 1: invert C.
+        let stage1 = m.stage1_invert_ns.span();
         let coeff_rows: Vec<&[u8]> = self.blocks.iter().map(|b| b.coefficients()).collect();
         let c = GfMatrix::from_rows(&coeff_rows)?;
         let c_inv = c.invert_with(self.backend)?;
+        stage1.stop();
         // Stage 2: b = C⁻¹ · x.
+        let stage2 = m.stage2_multiply_ns.span();
         let payload_rows: Vec<&[u8]> = self.blocks.iter().map(|b| b.payload()).collect();
         let x = GfMatrix::from_rows(&payload_rows)?;
         let b = c_inv.mul_with(self.backend, &x)?;
+        stage2.stop();
         Ok(b.as_flat().to_vec())
     }
 

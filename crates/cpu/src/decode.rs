@@ -52,11 +52,20 @@ impl ParallelSegmentDecoder {
     ///
     /// # Errors
     ///
-    /// Returns the first segment's [`Error::RankDeficient`] if its blocks
-    /// do not reach full rank, or any shape error.
+    /// Returns [`Error::SegmentDecode`] naming the first (lowest-index)
+    /// failing segment and wrapping its underlying error — typically
+    /// [`Error::RankDeficient`] when the blocks do not reach full rank, or
+    /// a shape error.
+    ///
+    /// # Panics
+    ///
+    /// If a worker thread panics, the panic is resumed on the caller's
+    /// thread once the wave has joined.
     pub fn decode_segments(&self, segments: &[Vec<CodedBlock>]) -> Result<Vec<Vec<u8>>, Error> {
-        let mut results: Vec<Result<Vec<u8>, Error>> =
-            (0..segments.len()).map(|_| Err(Error::SingularMatrix)).collect();
+        // `None` until a worker delivers the segment's real result, so an
+        // unfilled slot can never masquerade as a decode error.
+        let mut results: Vec<Option<Result<Vec<u8>, Error>>> =
+            (0..segments.len()).map(|_| None).collect();
 
         crossbeam::scope(|scope| {
             // Work queue: chunks of segments round-robined over the pool.
@@ -79,14 +88,38 @@ impl ParallelSegmentDecoder {
                         decoder.try_recover()
                     }));
                 }
+                let barrier = crate::metrics::metrics().segment_barrier_wait_ns.span();
                 for (handle, slot) in handles.into_iter().zip(chunk_results.iter_mut()) {
-                    *slot = handle.join().expect("decoder thread panicked");
+                    match handle.join() {
+                        Ok(result) => *slot = Some(result),
+                        // Re-raise the worker's panic (with its original
+                        // payload) instead of reporting a bogus decode
+                        // error for the remaining segments.
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
                 }
+                drop(barrier);
             }
         })
         .expect("decode scope failed");
 
-        results.into_iter().collect()
+        let m = crate::metrics::metrics();
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(segment, slot)| {
+                match slot.expect("worker result missing despite successful join") {
+                    Ok(data) => {
+                        m.segments_decoded.inc();
+                        Ok(data)
+                    }
+                    Err(source) => {
+                        m.segment_errors.inc();
+                        Err(Error::SegmentDecode { segment, source: Box::new(source) })
+                    }
+                }
+            })
+            .collect()
     }
 }
 
@@ -144,7 +177,30 @@ mod tests {
         let (_, blocks) = segment_with_blocks(config, 70, 4);
         let starved = blocks[..2].to_vec(); // not enough for rank 4
         let dec = ParallelSegmentDecoder::new(config, 2);
-        assert!(matches!(dec.decode_segments(&[starved]), Err(Error::RankDeficient { .. })));
+        let err = dec.decode_segments(&[starved]).unwrap_err();
+        match err {
+            Error::SegmentDecode { segment: 0, source } => {
+                assert!(matches!(*source, Error::RankDeficient { rank: 2, needed: 4 }));
+            }
+            other => panic!("expected SegmentDecode, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_names_the_failing_segment() {
+        let config = CodingConfig::new(4, 16).unwrap();
+        let mut inputs = Vec::new();
+        for s in 0..5 {
+            let (_, blocks) = segment_with_blocks(config, 80 + s, 4);
+            inputs.push(blocks);
+        }
+        inputs[3].truncate(2); // starve only segment 3
+        let dec = ParallelSegmentDecoder::new(config, 2);
+        let err = dec.decode_segments(&inputs).unwrap_err();
+        assert!(
+            matches!(err, Error::SegmentDecode { segment: 3, .. }),
+            "error must point at segment 3, got {err:?}"
+        );
     }
 
     #[test]

@@ -130,23 +130,27 @@ impl ThreadedDecoder {
     /// `dst ^= factor · src` with the byte range split across threads.
     fn axpy_threaded(backend: Backend, threads: usize, dst: &mut [u8], src: &[u8], factor: u8) {
         let chunk = dst.len().div_ceil(threads).max(64);
+        let barrier = crate::metrics::metrics().row_barrier_wait_ns.span();
         crossbeam::scope(|scope| {
             for (d, s) in dst.chunks_mut(chunk).zip(src.chunks(chunk)) {
                 scope.spawn(move |_| region::mul_add_assign_with(backend, d, s, factor));
             }
         })
         .expect("decoder thread panicked");
+        barrier.stop();
     }
 
     /// `dst = factor · dst`, threaded.
     fn scale_threaded(backend: Backend, threads: usize, dst: &mut [u8], factor: u8) {
         let chunk = dst.len().div_ceil(threads).max(64);
+        let barrier = crate::metrics::metrics().row_barrier_wait_ns.span();
         crossbeam::scope(|scope| {
             for d in dst.chunks_mut(chunk) {
                 scope.spawn(move |_| region::mul_assign_with(backend, d, factor));
             }
         })
         .expect("decoder thread panicked");
+        barrier.stop();
     }
 }
 

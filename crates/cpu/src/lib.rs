@@ -25,6 +25,7 @@ pub mod decode;
 pub mod decode_single;
 pub mod encode;
 pub mod measure;
+mod metrics;
 
 pub use decode::ParallelSegmentDecoder;
 pub use decode_single::ThreadedDecoder;

@@ -230,6 +230,8 @@ impl Gpu {
         label: &str,
     ) -> LaunchStats {
         assert!(grid.blocks > 0, "empty grid");
+        let m = crate::metrics::metrics();
+        let host_span = m.host_time_ns.span();
         // Occupancy capacity, capped by how many blocks the grid actually
         // supplies per SM — a 30-block grid on 30 SMs keeps one resident
         // block each no matter the theoretical capacity. (This cap is what
@@ -276,6 +278,10 @@ impl Gpu {
         if let Some(san) = &mut self.sanitizer {
             stats.sanitizer = Some(san.finish_launch(&stats));
         }
+        m.launches.inc();
+        m.blocks_executed.add(grid.blocks as u64);
+        m.modeled_time_ns.record((stats.elapsed_s * 1e9) as u64);
+        host_span.stop();
         stats
     }
 
@@ -326,6 +332,8 @@ impl Gpu {
         if grid.blocks <= max_blocks_executed {
             return self.launch(kernel, grid);
         }
+        let m = crate::metrics::metrics();
+        let host_span = m.host_time_ns.span();
         let resident = timing::occupancy(&self.spec, grid.threads_per_block, grid.shared_bytes)
             .min(grid.blocks.div_ceil(self.spec.sm_count));
         for cache in &mut self.tex_caches {
@@ -386,7 +394,20 @@ impl Gpu {
                 }
             })
             .collect();
-        timing::model_launch(&self.spec, &per_sm, grid.blocks, grid.threads_per_block, resident)
+        let stats = timing::model_launch(
+            &self.spec,
+            &per_sm,
+            grid.blocks,
+            grid.threads_per_block,
+            resident,
+        );
+        m.launches.inc();
+        // Only `executed` blocks ran on the host; count real work, not the
+        // scaled-up grid.
+        m.blocks_executed.add(executed as u64);
+        m.modeled_time_ns.record((stats.elapsed_s * 1e9) as u64);
+        host_span.stop();
+        stats
     }
 
     fn transfer_stats(&self, bytes: usize) -> TransferStats {

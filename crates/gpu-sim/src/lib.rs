@@ -31,6 +31,7 @@ pub mod ctx;
 pub mod device;
 pub mod gpu;
 pub mod mem;
+mod metrics;
 pub mod sanitizer;
 pub mod shared;
 pub mod stats;

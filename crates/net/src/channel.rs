@@ -264,6 +264,7 @@ impl<T: Clone> FaultInjector<T> {
 
         if self.rng.gen_bool(self.profile.drop) {
             self.stats.dropped += 1;
+            crate::metrics::metrics().frames_dropped.inc();
             return out;
         }
         let mut bytes = bytes.to_vec();
@@ -281,12 +282,14 @@ impl<T: Clone> FaultInjector<T> {
                 // The duplicate takes the fast path — classic mis-ordered
                 // duplicate delivery.
                 self.stats.duplicated += 1;
+                crate::metrics::metrics().frames_duplicated.inc();
                 out.push((tag, bytes));
             }
             return out;
         }
         if duplicate {
             self.stats.duplicated += 1;
+            crate::metrics::metrics().frames_duplicated.inc();
             out.push((tag.clone(), bytes.clone()));
         }
         out.push((tag, bytes));

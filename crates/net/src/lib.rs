@@ -63,6 +63,7 @@
 #![warn(missing_docs)]
 
 pub mod channel;
+mod metrics;
 pub mod pacing;
 pub mod receiver;
 pub mod sender;

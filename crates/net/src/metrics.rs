@@ -1,0 +1,61 @@
+//! Telemetry handles for the coded transport.
+//!
+//! Process-wide aggregates live in the default registry under `net.*`
+//! names; each [`crate::session::SenderSession`] additionally keeps its own
+//! pacing-wait histogram so the [`crate::server::Server`] can attach a
+//! per-session snapshot to every finished transfer.
+
+use std::sync::{Arc, OnceLock};
+
+use nc_telemetry::{Counter, Gauge, Histogram};
+
+pub(crate) struct NetMetrics {
+    /// Coded data frames handed to the wire by any sender session.
+    pub frames_sent: Arc<Counter>,
+    /// Announce datagrams sent.
+    pub announces_sent: Arc<Counter>,
+    /// ACK datagrams folded into any sender session.
+    pub acks_received: Arc<Counter>,
+    /// Sender sessions constructed.
+    pub sessions_started: Arc<Counter>,
+    /// Sessions that ended with receiver-confirmed recovery.
+    pub sessions_completed: Arc<Counter>,
+    /// Sessions that ended in idle timeout or deadline.
+    pub sessions_failed: Arc<Counter>,
+    /// Datagrams the fault model dropped.
+    pub frames_dropped: Arc<Counter>,
+    /// Extra deliveries the fault model duplicated.
+    pub frames_duplicated: Arc<Counter>,
+    /// Most recent EMA loss estimate of any session.
+    pub loss_estimate: Arc<Gauge>,
+    /// Most recent redundancy factor (`1/(1-loss)`, clamped).
+    pub redundancy_factor: Arc<Gauge>,
+    /// Most recent flow-window occupancy (estimated in-flight / window).
+    pub window_occupancy: Arc<Gauge>,
+    /// Goodput of the most recently completed session, bytes/second.
+    pub goodput_bytes_per_s: Arc<Gauge>,
+    /// Token-bucket wait quoted to sender sessions, in nanoseconds.
+    pub pacing_wait_ns: Arc<Histogram>,
+}
+
+pub(crate) fn metrics() -> &'static NetMetrics {
+    static METRICS: OnceLock<NetMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = nc_telemetry::default_registry();
+        NetMetrics {
+            frames_sent: r.counter("net.frames_sent"),
+            announces_sent: r.counter("net.announces_sent"),
+            acks_received: r.counter("net.acks_received"),
+            sessions_started: r.counter("net.sessions_started"),
+            sessions_completed: r.counter("net.sessions_completed"),
+            sessions_failed: r.counter("net.sessions_failed"),
+            frames_dropped: r.counter("net.frames_dropped"),
+            frames_duplicated: r.counter("net.frames_duplicated"),
+            loss_estimate: r.gauge("net.loss_estimate"),
+            redundancy_factor: r.gauge("net.redundancy_factor"),
+            window_occupancy: r.gauge("net.window_occupancy"),
+            goodput_bytes_per_s: r.gauge("net.goodput_bytes_per_s"),
+            pacing_wait_ns: r.histogram("net.pacing_wait_ns"),
+        }
+    })
+}

@@ -38,6 +38,11 @@ impl TokenBucket {
     /// Requests `bytes` tokens at time `now`. Returns [`Duration::ZERO`]
     /// and consumes the tokens if the send may proceed, otherwise the time
     /// to wait before retrying (tokens are *not* consumed).
+    ///
+    /// A frame larger than the burst capacity is charged `burst` tokens:
+    /// the bucket can never hold more than `burst`, so demanding more
+    /// would make the frame wait forever. The oversized frame instead
+    /// drains the bucket completely, which still bounds the long-run rate.
     pub fn request(&mut self, bytes: usize, now: Instant) -> Duration {
         if self.rate.is_infinite() {
             return Duration::ZERO;
@@ -47,7 +52,7 @@ impl TokenBucket {
             self.tokens = (self.tokens + dt * self.rate).min(self.burst);
         }
         self.last = Some(now);
-        let need = bytes as f64;
+        let need = (bytes as f64).min(self.burst);
         if self.tokens >= need {
             self.tokens -= need;
             Duration::ZERO
@@ -70,11 +75,15 @@ pub struct RedundancyController {
     max_factor: f64,
 }
 
+/// Ceiling on the loss estimate: above this the `1/(1-p)` factor explodes
+/// and the clamped [`RedundancyController::factor`] governs anyway.
+const MAX_LOSS: f64 = 0.95;
+
 impl RedundancyController {
     /// A controller starting from a prior loss guess (0 for a clean link).
     pub fn new(initial_loss_guess: f64) -> RedundancyController {
         RedundancyController {
-            loss_estimate: initial_loss_guess.clamp(0.0, 0.95),
+            loss_estimate: initial_loss_guess.clamp(0.0, MAX_LOSS),
             alpha: 0.3,
             max_factor: 4.0,
         }
@@ -82,12 +91,20 @@ impl RedundancyController {
 
     /// Folds one feedback observation in: the receiver has seen `received`
     /// of the `sent` data datagrams so far (cumulative counts).
+    ///
+    /// Degenerate feedback is tolerated rather than trusted: `sent == 0`
+    /// (no traffic yet — a ratio would divide by zero) is ignored, and
+    /// `received > sent` (duplication faults can deliver more frames than
+    /// were sent) is treated as zero loss, not negative loss. The estimate
+    /// is re-clamped to `[0, MAX_LOSS]` after every fold so no sequence of
+    /// observations can push it outside the range `factor()` assumes.
     pub fn observe(&mut self, sent: u64, received: u64) {
         if sent == 0 {
             return;
         }
         let observed_loss = 1.0 - (received.min(sent) as f64 / sent as f64);
-        self.loss_estimate = self.alpha * observed_loss + (1.0 - self.alpha) * self.loss_estimate;
+        self.loss_estimate = (self.alpha * observed_loss + (1.0 - self.alpha) * self.loss_estimate)
+            .clamp(0.0, MAX_LOSS);
     }
 
     /// Current loss estimate in `[0, 0.95]`.
@@ -136,6 +153,23 @@ mod tests {
     }
 
     #[test]
+    fn over_burst_frame_is_eventually_admitted() {
+        let t0 = Instant::now();
+        // A 1500-byte frame against a 1000-byte burst: under the old
+        // `need = bytes` rule the bucket could never hold enough tokens
+        // and the frame would be deferred forever.
+        let mut bucket = TokenBucket::new(1000.0, 1000.0);
+        assert_eq!(bucket.request(1500, t0), Duration::ZERO, "full bucket admits the frame");
+        // The oversized send drained the whole bucket; the next one waits
+        // for a full refill, never longer.
+        let wait = bucket.request(1500, t0);
+        assert!(wait > Duration::ZERO && wait <= Duration::from_secs(1), "wait = {wait:?}");
+        // And crucially, the wait it quotes is sufficient: retrying after
+        // it has elapsed succeeds instead of re-quoting forever.
+        assert_eq!(bucket.request(1500, t0 + wait), Duration::ZERO);
+    }
+
+    #[test]
     fn unlimited_bucket_never_waits() {
         let mut bucket = TokenBucket::unlimited();
         let now = Instant::now();
@@ -153,6 +187,38 @@ mod tests {
         }
         assert!((ctl.loss_estimate() - 0.2).abs() < 0.01);
         assert!((ctl.factor() - 1.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn controller_ignores_empty_observations() {
+        let mut ctl = RedundancyController::new(0.3);
+        let before = ctl.loss_estimate();
+        ctl.observe(0, 0);
+        ctl.observe(0, 50); // stray feedback before anything was sent
+        assert_eq!(ctl.loss_estimate(), before);
+    }
+
+    #[test]
+    fn controller_treats_duplication_as_zero_loss() {
+        let mut ctl = RedundancyController::new(0.5);
+        // Duplication faults: the receiver counts more frames than were
+        // sent. That must read as 0% loss, never negative.
+        for _ in 0..200 {
+            ctl.observe(100, 250);
+        }
+        assert!(ctl.loss_estimate() >= 0.0);
+        assert!(ctl.loss_estimate() < 1e-9, "estimate decays to zero, got {}", ctl.loss_estimate());
+        assert!((ctl.factor() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn controller_estimate_stays_clamped() {
+        let mut ctl = RedundancyController::new(0.95);
+        for _ in 0..50 {
+            ctl.observe(1000, 0); // total blackout
+        }
+        assert!(ctl.loss_estimate() <= 0.95);
+        assert!(ctl.factor() <= 4.0);
     }
 
     #[test]

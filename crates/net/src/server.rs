@@ -55,6 +55,9 @@ pub struct ServedTransfer {
     pub session: u64,
     /// Full sender-side statistics for the transfer.
     pub report: SenderReport,
+    /// Per-session telemetry (`session.*` metrics) captured at reap time;
+    /// serializes via [`nc_telemetry::Snapshot::to_json`].
+    pub metrics: nc_telemetry::Snapshot,
 }
 
 /// A multi-receiver coded-transport server on one UDP socket.
@@ -188,6 +191,7 @@ impl Server {
                         peer: key.0,
                         session: key.1,
                         report: session.report(now),
+                        metrics: session.metrics_snapshot(now),
                     });
                     return Ok(());
                 }

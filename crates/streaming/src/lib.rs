@@ -27,6 +27,7 @@
 pub mod backend;
 pub mod capacity;
 pub mod media;
+mod metrics;
 pub mod nic;
 pub mod server;
 pub mod transport;

@@ -1,0 +1,35 @@
+//! Telemetry handles for the streaming transport.
+//!
+//! Handles are fetched once into a `OnceLock` so the serving path records
+//! through pre-resolved `Arc`s; with `NC_TELEMETRY=off` every call site
+//! reduces to a relaxed atomic load and a branch.
+
+use std::sync::{Arc, OnceLock};
+
+use nc_telemetry::{Counter, Gauge};
+
+pub(crate) struct StreamingMetrics {
+    /// Transfers reaped by [`crate::MediaTransport::serve`].
+    pub transfers_served: Arc<Counter>,
+    /// Served transfers that sustained their profile's bitrate.
+    pub transfers_sustained: Arc<Counter>,
+    /// Served transfers that missed the stream deadline: either they never
+    /// completed (no goodput to judge) or their goodput fell below the
+    /// profile's required rate.
+    pub deadline_misses: Arc<Counter>,
+    /// Goodput of the most recently assessed transfer, bytes/second.
+    pub last_goodput_bytes_per_s: Arc<Gauge>,
+}
+
+pub(crate) fn metrics() -> &'static StreamingMetrics {
+    static METRICS: OnceLock<StreamingMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = nc_telemetry::default_registry();
+        StreamingMetrics {
+            transfers_served: r.counter("streaming.transfers_served"),
+            transfers_sustained: r.counter("streaming.transfers_sustained"),
+            deadline_misses: r.counter("streaming.deadline_misses"),
+            last_goodput_bytes_per_s: r.gauge("streaming.last_goodput_bytes_per_s"),
+        }
+    })
+}

@@ -120,6 +120,12 @@ impl MediaTransport {
     /// Serves until `expected` transfers finish (or `deadline`), returning
     /// each transfer with its profile assessment.
     ///
+    /// Each reaped transfer is mirrored into the process-wide telemetry
+    /// registry: `streaming.transfers_served` counts everything,
+    /// `streaming.transfers_sustained` the ones that kept up with the
+    /// profile, and `streaming.deadline_misses` the ones that either never
+    /// completed or fell below the stream rate.
+    ///
     /// # Errors
     ///
     /// Propagates socket I/O errors.
@@ -129,10 +135,19 @@ impl MediaTransport {
         deadline: Duration,
     ) -> io::Result<Vec<(ServedTransfer, Option<DeliveryAssessment>)>> {
         let transfers = self.server.serve(expected, deadline)?;
+        let m = crate::metrics::metrics();
         Ok(transfers
             .into_iter()
             .map(|t| {
                 let judged = assess(&t.report, self.profile);
+                m.transfers_served.inc();
+                match judged {
+                    Some(a) if a.sustained => m.transfers_sustained.inc(),
+                    _ => m.deadline_misses.inc(),
+                }
+                if let Some(a) = judged {
+                    m.last_goodput_bytes_per_s.set(a.goodput_bytes_per_s);
+                }
                 (t, judged)
             })
             .collect())

@@ -1,0 +1,124 @@
+//! Property tests: a telemetry [`Snapshot`] survives the JSON round trip
+//! exactly — names with quotes/backslashes/control/astral characters,
+//! full-precision `u64` counters, and shortest-repr `f64` gauges.
+
+use nc_telemetry::{HistogramSnapshot, Snapshot};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Characters deliberately chosen to stress the JSON escaper: quoting,
+/// escaping, ASCII/Unicode controls, multi-byte and astral code points.
+const NAME_PALETTE: &[char] = &[
+    'a',
+    'b',
+    'z',
+    '0',
+    '9',
+    '.',
+    '_',
+    '-',
+    ' ',
+    '"',
+    '\\',
+    '/',
+    '\n',
+    '\r',
+    '\t',
+    '\u{0}',
+    '\u{1f}',
+    'é',
+    'ß',
+    '中',
+    '✓',
+    '😀',
+    '\u{10FFFF}',
+];
+
+fn name() -> impl Strategy<Value = String> {
+    vec(0usize..NAME_PALETTE.len(), 0..12)
+        .prop_map(|indices| indices.into_iter().map(|i| NAME_PALETTE[i]).collect())
+}
+
+/// Finite f64s across ~600 orders of magnitude, both signs, plus zero.
+fn finite_f64() -> impl Strategy<Value = f64> {
+    (any::<f64>(), -280i32..280, any::<bool>()).prop_map(|(mantissa, exp, neg)| {
+        let v = mantissa * 10f64.powi(exp);
+        if neg {
+            -v
+        } else {
+            v
+        }
+    })
+}
+
+fn histogram() -> impl Strategy<Value = HistogramSnapshot> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(|(count, sum, min, max, (p50, p95, p99))| HistogramSnapshot {
+            count,
+            sum,
+            min,
+            max,
+            p50,
+            p95,
+            p99,
+        })
+}
+
+fn snapshot() -> impl Strategy<Value = Snapshot> {
+    (
+        vec((name(), any::<u64>()), 0..8),
+        vec((name(), finite_f64()), 0..8),
+        vec((name(), histogram()), 0..4),
+    )
+        .prop_map(|(counters, gauges, histograms)| Snapshot {
+            counters: counters.into_iter().collect(),
+            gauges: gauges.into_iter().collect(),
+            histograms: histograms.into_iter().collect(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn snapshot_roundtrips_through_json(snap in snapshot()) {
+        let json = snap.to_json();
+        let back = Snapshot::from_json(&json)
+            .unwrap_or_else(|e| panic!("{e} in {json}"));
+        prop_assert_eq!(back, snap, "json: {}", json);
+    }
+
+    /// Serialization is deterministic: same snapshot, same bytes.
+    #[test]
+    fn to_json_is_deterministic(snap in snapshot()) {
+        prop_assert_eq!(snap.to_json(), snap.clone().to_json());
+    }
+
+    /// Arbitrary byte soup never panics the parser.
+    #[test]
+    fn from_json_is_total(bytes in vec(any::<u8>(), 0..256)) {
+        if let Ok(text) = std::str::from_utf8(&bytes) {
+            let _ = Snapshot::from_json(text);
+        }
+    }
+}
+
+#[test]
+fn live_registry_snapshot_roundtrips() {
+    nc_telemetry::set_enabled(true);
+    let registry = nc_telemetry::Registry::new();
+    registry.counter("rt.frames").add(u64::MAX);
+    registry.gauge("rt.loss").set(0.2);
+    let h = registry.histogram("rt.wait_ns");
+    for v in [0, 1, 17, 4096, u64::MAX] {
+        h.record(v);
+    }
+    let snap = registry.snapshot();
+    assert_eq!(Snapshot::from_json(&snap.to_json()).unwrap(), snap);
+}

@@ -14,6 +14,7 @@
 //! | [`streaming`] | The network-coded streaming server |
 //! | [`net`] | Lossy-datagram coded transport: UDP, fault injection, sessions |
 //! | [`p2p`] | The Avalanche-style content-distribution swarm |
+//! | [`telemetry`] | Zero-dependency metrics: counters, histograms, JSON snapshots |
 //!
 //! Start with the runnable examples:
 //!
@@ -41,6 +42,7 @@ pub use nc_net as net;
 pub use nc_p2p as p2p;
 pub use nc_rlnc as rlnc;
 pub use nc_streaming as streaming;
+pub use nc_telemetry as telemetry;
 
 /// The most common imports in one place.
 pub mod prelude {

@@ -93,7 +93,68 @@ fn loss_matrix_recovers_bit_exact_within_overhead_bounds() {
             drop * 100.0
         );
         assert_eq!(report.segments_completed, report.segments_total);
+
+        // The redundancy controller's loss estimate must land in a band
+        // around the injected drop rate. The hostile profile stacks 1%
+        // corruption on top, and ACK bitmaps lag the send counter, so the
+        // band is generous — but a controller stuck at its prior or pinned
+        // to a clamp edge falls outside it.
+        assert!(
+            (0.0..0.95).contains(&report.loss_estimate),
+            "loss estimate {} outside its clamp range",
+            report.loss_estimate
+        );
+        if drop == 0.20 {
+            assert!(
+                (0.10..0.35).contains(&report.loss_estimate),
+                "loss estimate {:.3} not in a sane band around 20% injected loss ({report:?})",
+                report.loss_estimate
+            );
+        }
     }
+}
+
+#[test]
+fn telemetry_snapshot_is_consistent_with_the_session_report() {
+    // One lossy transfer, bracketed by global-registry snapshots: the
+    // counter deltas must cover everything the session report claims (other
+    // tests run in parallel against the same process-wide registry, so the
+    // deltas may only over-count, never under-count), and the snapshot must
+    // survive a JSON round-trip bit-exactly.
+    use extreme_nc::telemetry::Snapshot;
+
+    let before = extreme_nc::telemetry::snapshot();
+    let coding = CodingConfig::new(16, 512).expect("valid");
+    let data = payload(100_000);
+    let (report, recovered) = transfer_through(&data, coding, FaultProfile::lossy(0.10), 33, 0.10);
+    assert_eq!(recovered.as_deref(), Some(data.as_slice()));
+    let after = extreme_nc::telemetry::snapshot();
+
+    let delta = |name: &str| {
+        after.counters.get(name).copied().unwrap_or(0)
+            - before.counters.get(name).copied().unwrap_or(0)
+    };
+    assert!(
+        delta("net.frames_sent") >= report.frames_sent,
+        "global frames_sent delta {} below report {}",
+        delta("net.frames_sent"),
+        report.frames_sent
+    );
+    assert!(delta("net.acks_received") >= report.acks_received);
+    assert!(delta("net.sessions_started") >= 1);
+    assert!(delta("net.sessions_completed") >= 1);
+    assert!(delta("net.frames_dropped") >= 1, "10% injected loss left no drop trace");
+    assert!(delta("core.blocks_coded") >= report.frames_sent, "every frame codes a block");
+
+    // The mirrored loss-estimate gauge is last-writer-wins across parallel
+    // sessions, so it cannot be pinned to *this* report's value — but it
+    // must always hold a clamped estimate from *some* live session.
+    let estimate = after.gauges.get("net.loss_estimate").copied().expect("gauge registered");
+    assert!((0.0..0.95).contains(&estimate), "mirrored loss estimate {estimate} out of range");
+
+    let json = after.to_json();
+    let parsed = Snapshot::from_json(&json).expect("snapshot JSON parses");
+    assert_eq!(parsed, after, "snapshot JSON round-trip");
 }
 
 #[test]

@@ -128,12 +128,15 @@ pub mod strategy {
 
     macro_rules! range_strategy {
         ($($t:ty),*) => {$(
+            // Spans are computed in i128 so signed ranges with negative
+            // bounds (e.g. `-280i32..280`) don't sign-extend into u128 and
+            // overflow; every supported type's full range fits in i128.
             impl Strategy for Range<$t> {
                 type Value = $t;
                 fn sample(&self, rng: &mut TestRng) -> $t {
                     assert!(self.start < self.end, "empty range strategy");
-                    let span = (self.end as u128) - (self.start as u128);
-                    self.start + (rng.next_u64() as u128 % span) as $t
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
                 }
             }
             impl Strategy for RangeInclusive<$t> {
@@ -141,15 +144,15 @@ pub mod strategy {
                 fn sample(&self, rng: &mut TestRng) -> $t {
                     let (lo, hi) = (*self.start(), *self.end());
                     assert!(lo <= hi, "empty range strategy");
-                    let span = (hi as u128) - (lo as u128) + 1;
-                    lo + (rng.next_u64() as u128 % span) as $t
+                    let span = (hi as i128 - lo as i128 + 1) as u128;
+                    (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
                 }
             }
             impl Strategy for RangeFrom<$t> {
                 type Value = $t;
                 fn sample(&self, rng: &mut TestRng) -> $t {
-                    let span = (<$t>::MAX as u128) - (self.start as u128) + 1;
-                    self.start + (rng.next_u64() as u128 % span) as $t
+                    let span = (<$t>::MAX as i128 - self.start as i128 + 1) as u128;
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
                 }
             }
         )*};
