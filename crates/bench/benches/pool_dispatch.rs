@@ -1,0 +1,78 @@
+//! Executor-dispatch benchmark for the PR-5 acceptance gate: persistent
+//! work-stealing pool (`nc-pool`, as used by [`ParallelSegmentDecoder`])
+//! versus the spawn-per-wave strategy it replaced, across wave sizes.
+//!
+//! The coding work per segment is deliberately small (n=8, k=64) so the
+//! measurement is dominated by dispatch overhead — exactly the regime
+//! where per-wave thread creation drowned the Sec. 5.2 multi-segment
+//! decode path.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nc_cpu::ParallelSegmentDecoder;
+use nc_rlnc::{CodedBlock, CodingConfig, Decoder, Encoder, Segment};
+use rand::{Rng, SeedableRng};
+
+const THREADS: usize = 8;
+
+fn coded_segments(config: CodingConfig, count: usize, seed: u64) -> Vec<Vec<CodedBlock>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let data: Vec<u8> = (0..config.segment_bytes()).map(|_| rng.gen()).collect();
+            let enc = Encoder::new(Segment::from_bytes(config, data).unwrap());
+            enc.encode_batch(&mut rng, config.blocks() + 4)
+        })
+        .collect()
+}
+
+/// The pre-pool dispatch strategy: fresh OS threads every wave.
+fn spawn_per_wave_decode(
+    config: CodingConfig,
+    threads: usize,
+    segments: &[Vec<CodedBlock>],
+) -> Vec<Vec<u8>> {
+    let mut results: Vec<Option<Vec<u8>>> = (0..segments.len()).map(|_| None).collect();
+    let threads = threads.max(1).min(segments.len().max(1));
+    let chunk = segments.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (seg_chunk, out_chunk) in segments.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (blocks, slot) in seg_chunk.iter().zip(out_chunk.iter_mut()) {
+                    let mut decoder = Decoder::new(config);
+                    for b in blocks {
+                        if decoder.is_complete() {
+                            break;
+                        }
+                        decoder.push(b.clone()).unwrap();
+                    }
+                    *slot = Some(decoder.try_recover().unwrap());
+                }
+            });
+        }
+    });
+    results.into_iter().map(|r| r.unwrap()).collect()
+}
+
+fn pool_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_dispatch");
+    let config = CodingConfig::new(8, 64).unwrap();
+    for segments in [1usize, 8, 64, 512] {
+        let inputs = coded_segments(config, segments, 0xD15 + segments as u64);
+        group.throughput(Throughput::Elements(segments as u64));
+        group.bench_with_input(BenchmarkId::new("spawn_per_wave", segments), &segments, |b, _| {
+            b.iter(|| spawn_per_wave_decode(config, THREADS, black_box(&inputs)))
+        });
+        let decoder = ParallelSegmentDecoder::new(config, THREADS);
+        group.bench_with_input(BenchmarkId::new("nc_pool", segments), &segments, |b, _| {
+            b.iter(|| decoder.decode_segments(black_box(&inputs)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = pool_dispatch
+}
+criterion_main!(benches);

@@ -1,0 +1,147 @@
+//! PR-5 acceptance numbers: multi-segment decode throughput on the
+//! persistent `nc-pool` executor versus the spawn-per-wave strategy it
+//! replaced, plus parallel-encode bandwidth on the same pool.
+//!
+//! Run with `cargo run -p nc-bench --release --bin pool_report [out.json]`;
+//! writes `BENCH_PR5.json` (or the given path) and prints the same numbers
+//! as a table. `--quick` cuts repetitions for CI smoke runs.
+
+use std::time::Instant;
+
+use nc_cpu::{ParallelEncoder, ParallelSegmentDecoder, Partitioning};
+use nc_rlnc::{CodedBlock, CodingConfig, Decoder, Encoder, Segment};
+use rand::{Rng, SeedableRng};
+
+const SEGMENTS: usize = 64;
+const DECODE_N: usize = 8;
+const DECODE_K: usize = 64;
+
+fn coded_segments(config: CodingConfig, count: usize, seed: u64) -> Vec<Vec<CodedBlock>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let data: Vec<u8> = (0..config.segment_bytes()).map(|_| rng.gen()).collect();
+            let enc = Encoder::new(Segment::from_bytes(config, data).unwrap());
+            enc.encode_batch(&mut rng, config.blocks() + 4)
+        })
+        .collect()
+}
+
+/// The pre-pool dispatch strategy, for the speedup denominator.
+fn spawn_per_wave_decode(config: CodingConfig, threads: usize, segments: &[Vec<CodedBlock>]) {
+    let mut results: Vec<Option<Vec<u8>>> = (0..segments.len()).map(|_| None).collect();
+    let threads = threads.max(1).min(segments.len().max(1));
+    let chunk = segments.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (seg_chunk, out_chunk) in segments.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (blocks, slot) in seg_chunk.iter().zip(out_chunk.iter_mut()) {
+                    let mut decoder = Decoder::new(config);
+                    for b in blocks {
+                        if decoder.is_complete() {
+                            break;
+                        }
+                        decoder.push(b.clone()).unwrap();
+                    }
+                    *slot = Some(decoder.try_recover().unwrap());
+                }
+            });
+        }
+    });
+}
+
+/// Best-of-`reps` wall time for `f`, in seconds.
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
+    let reps = if quick { 3 } else { 15 };
+
+    let config = CodingConfig::new(DECODE_N, DECODE_K).unwrap();
+    let inputs = coded_segments(config, SEGMENTS, 0xBE7C);
+
+    // Multi-segment decode throughput, pooled, at 1/4/8 threads.
+    let mut decode_rates = Vec::new();
+    for threads in [1usize, 4, 8] {
+        let decoder = ParallelSegmentDecoder::new(config, threads);
+        decoder.decode_segments(&inputs).unwrap(); // warm the pool
+        let secs = best_of(reps, || {
+            decoder.decode_segments(&inputs).unwrap();
+        });
+        decode_rates.push((threads, SEGMENTS as f64 / secs));
+    }
+
+    // The spawn-per-wave denominator at 8 threads.
+    let baseline_secs = best_of(reps, || spawn_per_wave_decode(config, 8, &inputs));
+    let baseline_rate = SEGMENTS as f64 / baseline_secs;
+    let pooled_rate_8 = decode_rates.iter().find(|(t, _)| *t == 8).unwrap().1;
+    let speedup = pooled_rate_8 / baseline_rate;
+
+    // Parallel-encode bandwidth on the same pool (full-block, Sec. 5.3).
+    let enc_config = CodingConfig::new(64, 4096).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xE14C);
+    let data: Vec<u8> = (0..enc_config.segment_bytes()).map(|_| rng.gen()).collect();
+    let segment = Segment::from_bytes(enc_config, data).unwrap();
+    let m = 16usize;
+    let coeffs: Vec<Vec<u8>> =
+        (0..m).map(|_| (0..64).map(|_| rng.gen_range(1..=255)).collect()).collect();
+    let encoder = ParallelEncoder::new(segment, 8, Partitioning::FullBlock);
+    encoder.encode_batch(&coeffs); // warm the pool
+    let enc_secs = best_of(reps, || {
+        encoder.encode_batch(&coeffs);
+    });
+    let encode_mb_per_s = (m * 4096) as f64 / enc_secs / 1e6;
+
+    println!("pool_report: n={DECODE_N} k={DECODE_K} segments={SEGMENTS}");
+    for (threads, rate) in &decode_rates {
+        println!("  decode {threads} threads: {rate:.0} segments/s");
+    }
+    println!("  spawn-per-wave 8 threads: {baseline_rate:.0} segments/s");
+    println!("  speedup vs spawn-per-wave (8 threads): {speedup:.2}x");
+    println!("  parallel encode (n=64 k=4096, 8 threads): {encode_mb_per_s:.1} MB/s");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"pool_dispatch\",\n",
+            "  \"config\": {{\"n\": {n}, \"k\": {k}, \"segments\": {segments}}},\n",
+            "  \"decode_segments_per_s\": {{\n",
+            "    \"threads_1\": {d1:.1},\n",
+            "    \"threads_4\": {d4:.1},\n",
+            "    \"threads_8\": {d8:.1}\n",
+            "  }},\n",
+            "  \"spawn_per_wave_segments_per_s_threads_8\": {base:.1},\n",
+            "  \"speedup_vs_spawn_per_wave_threads_8\": {speedup:.3},\n",
+            "  \"encode_mb_per_s\": {enc:.2}\n",
+            "}}\n"
+        ),
+        n = DECODE_N,
+        k = DECODE_K,
+        segments = SEGMENTS,
+        d1 = decode_rates[0].1,
+        d4 = decode_rates[1].1,
+        d8 = decode_rates[2].1,
+        base = baseline_rate,
+        speedup = speedup,
+        enc = encode_mb_per_s,
+    );
+    nc_bench::telemetry::create_parent_dirs(&out_path).expect("create output directories");
+    std::fs::write(&out_path, json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+
+    nc_bench::dump_telemetry_if_requested();
+}

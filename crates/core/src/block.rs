@@ -90,7 +90,13 @@ impl CodedBlock {
             });
         }
         let (coeffs, payload) = bytes.split_at(config.blocks());
-        Ok(CodedBlock { coefficients: coeffs.to_vec(), payload: payload.to_vec() })
+        // Recycled storage: a receiver parsing a datagram stream reuses
+        // the vectors its decoder recycled from earlier blocks.
+        let arena = nc_pool::BlockArena::global();
+        Ok(CodedBlock {
+            coefficients: arena.copy_coeffs(coeffs),
+            payload: arena.copy_payload(payload),
+        })
     }
 
     /// Deconstructs into `(coefficients, payload)`.

@@ -112,6 +112,10 @@ impl Decoder {
         let mut row = Vec::with_capacity(width);
         row.extend_from_slice(&coeffs);
         row.extend_from_slice(&payload);
+        // The block's storage is fully copied into the RREF row; hand
+        // both vectors back to the arena so the encoder side (or the next
+        // received datagram's parse) reuses them.
+        nc_pool::BlockArena::global().recycle_block(coeffs, payload);
 
         // Forward-reduce the incoming row against all existing pivots.
         for (i, &pivot_col) in self.pivots.iter().enumerate() {

@@ -5,6 +5,7 @@ use crate::coeff::CoefficientRng;
 use crate::error::Error;
 use crate::segment::{CodingConfig, Segment};
 use nc_gf256::region::{self, Backend};
+use nc_pool::BlockArena;
 use rand::Rng;
 
 /// Produces coded blocks from one source segment (the paper's Eq. 1:
@@ -72,8 +73,17 @@ impl Encoder {
 
     /// Generates one coded block with freshly drawn random coefficients.
     pub fn encode(&self, rng: &mut impl Rng) -> CodedBlock {
-        let coeffs = self.coeff_rng.draw(rng, self.config().blocks());
+        let coeffs = self.draw_coefficients(rng);
         self.encode_with_coefficients_unchecked(coeffs)
+    }
+
+    /// Draws one coefficient vector (recycled storage from the block
+    /// arena), without encoding. Lets batch callers draw serially — for
+    /// deterministic results under a seeded RNG — and encode in parallel.
+    pub(crate) fn draw_coefficients(&self, rng: &mut impl Rng) -> Vec<u8> {
+        let mut coeffs = BlockArena::global().take_coeffs(self.config().blocks());
+        self.coeff_rng.fill(rng, &mut coeffs);
+        coeffs
     }
 
     /// Generates `count` coded blocks (the streaming-server batch pattern:
@@ -86,7 +96,7 @@ impl Encoder {
         let sources: Vec<&[u8]> = self.segment.iter_blocks().collect();
         (0..count)
             .map(|_| {
-                let coeffs = self.coeff_rng.draw(rng, self.config().blocks());
+                let coeffs = self.draw_coefficients(rng);
                 self.encode_over_sources(&sources, coeffs)
             })
             .collect()
@@ -116,10 +126,12 @@ impl Encoder {
     pub fn systematic(&self, i: usize) -> CodedBlock {
         let n = self.config().blocks();
         assert!(i < n, "systematic index {i} out of range for n={n}");
-        let mut coeffs = vec![0u8; n];
+        let arena = BlockArena::global();
+        let mut coeffs = arena.take_coeffs(n);
         coeffs[i] = 1;
+        let payload = arena.copy_payload(self.segment.block(i));
         crate::metrics::metrics().blocks_coded.inc();
-        CodedBlock::new(coeffs, self.segment.block(i).to_vec())
+        CodedBlock::new(coeffs, payload)
     }
 
     fn encode_with_coefficients_unchecked(&self, coefficients: Vec<u8>) -> CodedBlock {
@@ -128,7 +140,9 @@ impl Encoder {
     }
 
     fn encode_over_sources(&self, sources: &[&[u8]], coefficients: Vec<u8>) -> CodedBlock {
-        let mut payload = vec![0u8; self.config().block_size()];
+        // Recycled (and re-zeroed) payload storage: on a steady-state
+        // encode path this is a shelf pop, not a heap allocation.
+        let mut payload = BlockArena::global().take_payload(self.config().block_size());
         region::dot_assign_with(self.backend, &mut payload, sources, &coefficients);
         crate::metrics::metrics().blocks_coded.inc();
         CodedBlock::new(coefficients, payload)

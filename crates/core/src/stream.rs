@@ -152,6 +152,41 @@ impl StreamEncoder {
         let segment = self.cursor.fetch_add(1, Ordering::Relaxed) % self.total_segments();
         self.frame_for(segment, rng)
     }
+
+    /// The next `count` frames, round-robin across segments, with the
+    /// GF(2^8) coding fanned over the shared worker pool
+    /// ([`nc_pool::Pool::global`]).
+    ///
+    /// Coefficients are drawn serially from `rng` before any task runs,
+    /// so for a given RNG state the frames are bit-identical to `count`
+    /// successive [`StreamEncoder::next_frame`] calls — only the payload
+    /// computation parallelizes. This is the bulk-sender batch pattern of
+    /// Sec. 5.3: generate many, buffer, deliver on demand.
+    pub fn next_frames(&self, rng: &mut impl Rng, count: usize) -> Vec<StreamFrame> {
+        let total = self.total_segments();
+        let draws: Vec<(usize, Vec<u8>)> = (0..count)
+            .map(|_| {
+                let segment = self.cursor.fetch_add(1, Ordering::Relaxed) % total;
+                (segment, self.encoders[segment].draw_coefficients(rng))
+            })
+            .collect();
+        let mut frames: Vec<Option<StreamFrame>> = (0..count).map(|_| None).collect();
+        nc_pool::Pool::global().scope(|scope| {
+            for (slot, (segment, coeffs)) in frames.iter_mut().zip(draws) {
+                let encoder = &self.encoders[segment];
+                scope.spawn(move || {
+                    *slot = Some(StreamFrame {
+                        segment: segment as u32,
+                        total_segments: total as u32,
+                        block: encoder
+                            .encode_with_coefficients(coeffs)
+                            .expect("drawn coefficients have length n"),
+                    });
+                });
+            }
+        });
+        frames.into_iter().map(|f| f.expect("every slot filled by its task")).collect()
+    }
 }
 
 /// Receives frames for a whole stream and reassembles the original bytes.
@@ -330,6 +365,32 @@ mod tests {
     #[test]
     fn empty_stream_is_rejected() {
         assert!(StreamEncoder::new(config(), &[]).is_err());
+    }
+
+    #[test]
+    fn batched_frames_match_serial_frames_bit_exactly() {
+        let data: Vec<u8> = (0..500u32).map(|i| (i * 13) as u8).collect();
+        let serial = StreamEncoder::new(config(), &data).unwrap();
+        let batched = StreamEncoder::new(config(), &data).unwrap();
+        let mut rng_a = rand::rngs::StdRng::seed_from_u64(11);
+        let mut rng_b = rand::rngs::StdRng::seed_from_u64(11);
+        let want: Vec<StreamFrame> = (0..48).map(|_| serial.next_frame(&mut rng_a)).collect();
+        let got = batched.next_frames(&mut rng_b, 48);
+        assert_eq!(got, want, "pooled batch must equal serial draws bit-for-bit");
+    }
+
+    #[test]
+    fn batched_frames_decode_the_stream() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let data: Vec<u8> = (0..777).map(|_| rng.gen()).collect();
+        let enc = StreamEncoder::new(config(), &data).unwrap();
+        let mut dec = StreamDecoder::new(config(), enc.total_segments(), data.len());
+        while !dec.is_complete() {
+            for frame in enc.next_frames(&mut rng, 32) {
+                dec.push(frame).unwrap();
+            }
+        }
+        assert_eq!(dec.recover().unwrap(), data);
     }
 
     #[test]

@@ -1,20 +1,31 @@
 //! Thread-parallel multi-segment decoding (the CPU side of Sec. 5.2).
 //!
 //! "For our 8-core Mac Pro system, we operate on 8 segments in parallel at
-//! a time, with each segment being processed by a CPU thread." Each thread
+//! a time, with each segment being processed by a CPU thread." Each worker
 //! runs the ordinary progressive Gauss-Jordan decoder of `nc-rlnc` to
 //! completion on its own segment — no cross-thread synchronization at all,
 //! which is why multi-segment decoding is also the better CPU scheme.
+//!
+//! The workers come from a persistent [`nc_pool::Pool`]: each batch is
+//! split into balanced, modestly oversubscribed chunks on the shared
+//! work-stealing pool, so a batch with `segments % threads != 0` never
+//! runs a short final wave — idle workers steal the straggler chunks —
+//! and repeated batches pay no thread spawn/join churn.
+
+use std::sync::Arc;
 
 use nc_gf256::region::Backend;
+use nc_pool::Pool;
 use nc_rlnc::{CodedBlock, CodingConfig, Decoder, Error};
 
-/// Decodes batches of segments, one worker thread per segment at a time.
+/// Decodes batches of segments as balanced chunk tasks on a persistent
+/// work-stealing pool.
 #[derive(Debug)]
 pub struct ParallelSegmentDecoder {
     config: CodingConfig,
     threads: usize,
     backend: Backend,
+    pool: Arc<Pool>,
 }
 
 impl ParallelSegmentDecoder {
@@ -26,7 +37,12 @@ impl ParallelSegmentDecoder {
     /// Panics if `threads == 0`.
     pub fn new(config: CodingConfig, threads: usize) -> ParallelSegmentDecoder {
         assert!(threads > 0, "at least one thread required");
-        ParallelSegmentDecoder { config, threads, backend: Backend::default() }
+        ParallelSegmentDecoder {
+            config,
+            threads,
+            backend: Backend::default(),
+            pool: Pool::shared(threads),
+        }
     }
 
     /// Selects the GF(2^8) region backend used by each per-segment decoder
@@ -45,6 +61,12 @@ impl ParallelSegmentDecoder {
     /// The coding configuration.
     pub fn config(&self) -> CodingConfig {
         self.config
+    }
+
+    /// Worker threads the decoder's pool runs on.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Decodes every segment; `segments[i]` supplies the coded blocks of
@@ -67,41 +89,48 @@ impl ParallelSegmentDecoder {
         let mut results: Vec<Option<Result<Vec<u8>, Error>>> =
             (0..segments.len()).map(|_| None).collect();
 
-        crossbeam::scope(|scope| {
-            // Work queue: chunks of segments round-robined over the pool.
-            for (chunk_blocks, chunk_results) in
-                segments.chunks(self.threads.max(1)).zip(results.chunks_mut(self.threads.max(1)))
-            {
-                // Within one wave, each segment gets its own thread.
-                let mut handles = Vec::new();
-                for blocks in chunk_blocks {
-                    let config = self.config;
-                    let backend = self.backend;
-                    handles.push(scope.spawn(move |_| {
+        // Balanced chunks on the persistent pool: no per-wave thread
+        // spawn/join, and chunk sizes differ by at most one segment, so
+        // `segments % threads != 0` never leaves a short final wave (the
+        // old `div_ceil` split could leave the last worker nearly idle).
+        // Modest oversubscription (4 tasks per worker) keeps per-task
+        // dispatch overhead amortized on large batches while stealing
+        // still rebalances segments that decode at different speeds.
+        // A panicking task poisons the scope and is resumed here, with
+        // its original payload, once every task has joined.
+        let tasks = (self.threads * 4).clamp(1, segments.len().max(1));
+        let base = segments.len() / tasks;
+        let extra = segments.len() % tasks;
+
+        let barrier = crate::metrics::metrics().segment_barrier_wait_ns.span();
+        self.pool.scope(|scope| {
+            let mut seg_rest = segments;
+            let mut out_rest = results.as_mut_slice();
+            for i in 0..tasks {
+                let size = base + usize::from(i < extra);
+                let (seg_chunk, sr) = seg_rest.split_at(size);
+                let (out_chunk, or) = std::mem::take(&mut out_rest).split_at_mut(size);
+                seg_rest = sr;
+                out_rest = or;
+                let config = self.config;
+                let backend = self.backend;
+                scope.spawn(move || {
+                    for (blocks, slot) in seg_chunk.iter().zip(out_chunk.iter_mut()) {
                         let mut decoder = Decoder::new(config).with_backend(backend);
-                        for b in blocks {
-                            if decoder.is_complete() {
-                                break;
+                        *slot = Some((|| {
+                            for b in blocks {
+                                if decoder.is_complete() {
+                                    break;
+                                }
+                                decoder.push(b.clone())?;
                             }
-                            decoder.push(b.clone())?;
-                        }
-                        decoder.try_recover()
-                    }));
-                }
-                let barrier = crate::metrics::metrics().segment_barrier_wait_ns.span();
-                for (handle, slot) in handles.into_iter().zip(chunk_results.iter_mut()) {
-                    match handle.join() {
-                        Ok(result) => *slot = Some(result),
-                        // Re-raise the worker's panic (with its original
-                        // payload) instead of reporting a bogus decode
-                        // error for the remaining segments.
-                        Err(payload) => std::panic::resume_unwind(payload),
+                            decoder.try_recover()
+                        })());
                     }
-                }
-                drop(barrier);
+                });
             }
-        })
-        .expect("decode scope failed");
+        });
+        drop(barrier);
 
         let m = crate::metrics::metrics();
         results

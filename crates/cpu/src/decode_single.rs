@@ -5,10 +5,15 @@
 //! previous state), but each row operation parallelizes across threads by
 //! splitting the `n + k` row bytes into per-thread ranges, with a barrier
 //! per received block for the pivot search — the synchronization cost that
-//! makes small block sizes slow on every platform.
+//! makes small block sizes slow on every platform. The fan-out runs on a
+//! persistent [`nc_pool::Pool`], so the (very frequent) row operations
+//! dispatch onto parked workers instead of spawning fresh OS threads.
+
+use std::sync::Arc;
 
 use nc_gf256::region::{self, Backend};
 use nc_gf256::scalar;
+use nc_pool::Pool;
 use nc_rlnc::{CodedBlock, CodingConfig, Error};
 
 /// A progressive decoder whose row operations run on `threads` worker
@@ -23,6 +28,7 @@ pub struct ThreadedDecoder {
     rows: Vec<Vec<u8>>,
     pivots: Vec<usize>,
     backend: Backend,
+    pool: Arc<Pool>,
 }
 
 impl ThreadedDecoder {
@@ -40,6 +46,7 @@ impl ThreadedDecoder {
             rows: Vec::new(),
             pivots: Vec::new(),
             backend: Backend::default(),
+            pool: Pool::shared(threads),
         }
     }
 
@@ -85,7 +92,14 @@ impl ThreadedDecoder {
         for (i, &pivot_col) in self.pivots.iter().enumerate() {
             let factor = row[pivot_col];
             if factor != 0 {
-                Self::axpy_threaded(self.backend, self.threads, &mut row, &self.rows[i], factor);
+                Self::axpy_threaded(
+                    &self.pool,
+                    self.backend,
+                    self.threads,
+                    &mut row,
+                    &self.rows[i],
+                    factor,
+                );
             }
         }
 
@@ -96,7 +110,7 @@ impl ThreadedDecoder {
         let lead = row[pivot_col];
         if lead != 1 {
             let inv = scalar::inv(lead);
-            Self::scale_threaded(self.backend, self.threads, &mut row, inv);
+            Self::scale_threaded(&self.pool, self.backend, self.threads, &mut row, inv);
         }
 
         // Jordan step into the existing rows, one row at a time, each
@@ -104,7 +118,7 @@ impl ThreadedDecoder {
         for existing in self.rows.iter_mut() {
             let factor = existing[pivot_col];
             if factor != 0 {
-                Self::axpy_threaded(self.backend, self.threads, existing, &row, factor);
+                Self::axpy_threaded(&self.pool, self.backend, self.threads, existing, &row, factor);
             }
         }
 
@@ -127,29 +141,43 @@ impl ThreadedDecoder {
         Some(out)
     }
 
-    /// `dst ^= factor · src` with the byte range split across threads.
-    fn axpy_threaded(backend: Backend, threads: usize, dst: &mut [u8], src: &[u8], factor: u8) {
+    /// `dst ^= factor · src` with the byte range fanned over pool workers.
+    fn axpy_threaded(
+        pool: &Pool,
+        backend: Backend,
+        threads: usize,
+        dst: &mut [u8],
+        src: &[u8],
+        factor: u8,
+    ) {
         let chunk = dst.len().div_ceil(threads).max(64);
+        if dst.len() <= chunk {
+            // One chunk: no dispatch, run inline on the caller.
+            region::mul_add_assign_with(backend, dst, src, factor);
+            return;
+        }
         let barrier = crate::metrics::metrics().row_barrier_wait_ns.span();
-        crossbeam::scope(|scope| {
+        pool.scope(|scope| {
             for (d, s) in dst.chunks_mut(chunk).zip(src.chunks(chunk)) {
-                scope.spawn(move |_| region::mul_add_assign_with(backend, d, s, factor));
+                scope.spawn(move || region::mul_add_assign_with(backend, d, s, factor));
             }
-        })
-        .expect("decoder thread panicked");
+        });
         barrier.stop();
     }
 
-    /// `dst = factor · dst`, threaded.
-    fn scale_threaded(backend: Backend, threads: usize, dst: &mut [u8], factor: u8) {
+    /// `dst = factor · dst`, fanned over pool workers.
+    fn scale_threaded(pool: &Pool, backend: Backend, threads: usize, dst: &mut [u8], factor: u8) {
         let chunk = dst.len().div_ceil(threads).max(64);
+        if dst.len() <= chunk {
+            region::mul_assign_with(backend, dst, factor);
+            return;
+        }
         let barrier = crate::metrics::metrics().row_barrier_wait_ns.span();
-        crossbeam::scope(|scope| {
+        pool.scope(|scope| {
             for d in dst.chunks_mut(chunk) {
-                scope.spawn(move |_| region::mul_assign_with(backend, d, factor));
+                scope.spawn(move || region::mul_assign_with(backend, d, factor));
             }
-        })
-        .expect("decoder thread panicked");
+        });
         barrier.stop();
     }
 }

@@ -1,7 +1,11 @@
 //! Multi-threaded encoding with the two partitioning strategies of
-//! Sec. 5.3.
+//! Sec. 5.3, dispatched onto a persistent [`nc_pool::Pool`] instead of
+//! spawning a thread wave per batch.
+
+use std::sync::Arc;
 
 use nc_gf256::region::{self, Backend};
+use nc_pool::Pool;
 use nc_rlnc::{CodedBlock, Segment};
 
 /// How the encoding work of a batch is split across threads.
@@ -38,6 +42,7 @@ pub struct ParallelEncoder {
     threads: usize,
     partitioning: Partitioning,
     backend: Backend,
+    pool: Arc<Pool>,
 }
 
 impl ParallelEncoder {
@@ -48,7 +53,13 @@ impl ParallelEncoder {
     /// Panics if `threads == 0`.
     pub fn new(segment: Segment, threads: usize, partitioning: Partitioning) -> ParallelEncoder {
         assert!(threads > 0, "at least one thread required");
-        ParallelEncoder { segment, threads, partitioning, backend: Backend::default() }
+        ParallelEncoder {
+            segment,
+            threads,
+            partitioning,
+            backend: Backend::default(),
+            pool: Pool::shared(threads),
+        }
     }
 
     /// Selects the GF(2^8) region backend (default: the host's fastest —
@@ -90,8 +101,8 @@ impl ParallelEncoder {
 
         match self.partitioning {
             Partitioning::FullBlock => {
-                // Whole coded blocks per thread, round-robin.
-                crossbeam::scope(|scope| {
+                // Whole coded blocks per worker, round-robin.
+                self.pool.scope(|scope| {
                     let mut buckets: Vec<Vec<(usize, &mut Vec<u8>)>> =
                         (0..self.threads).map(|_| Vec::new()).collect();
                     for (i, p) in payloads.iter_mut().enumerate() {
@@ -100,7 +111,7 @@ impl ParallelEncoder {
                     for bucket in buckets {
                         let segment = &self.segment;
                         let backend = self.backend;
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             let n = segment.config().blocks();
                             let sources: Vec<&[u8]> = (0..n).map(|i| segment.block(i)).collect();
                             for (j, payload) in bucket {
@@ -108,15 +119,14 @@ impl ParallelEncoder {
                             }
                         });
                     }
-                })
-                .expect("encoder thread panicked");
+                });
             }
             Partitioning::PartitionedBlock => {
-                // Every block's byte range split across all threads.
+                // Every block's byte range split across all workers.
                 let slice_len = k.div_ceil(self.threads).next_multiple_of(8).min(k);
                 for (j, payload) in payloads.iter_mut().enumerate() {
                     let row = &coeff_rows[j];
-                    crossbeam::scope(|scope| {
+                    self.pool.scope(|scope| {
                         let mut rest: &mut [u8] = payload;
                         let mut offset = 0usize;
                         while !rest.is_empty() {
@@ -127,7 +137,7 @@ impl ParallelEncoder {
                             let backend = self.backend;
                             let this_offset = offset;
                             offset += take;
-                            scope.spawn(move |_| {
+                            scope.spawn(move || {
                                 let n = segment.config().blocks();
                                 let sources: Vec<&[u8]> = (0..n)
                                     .map(|i| &segment.block(i)[this_offset..this_offset + take])
@@ -135,8 +145,7 @@ impl ParallelEncoder {
                                 region::dot_assign_with(backend, head, &sources, row);
                             });
                         }
-                    })
-                    .expect("encoder thread panicked");
+                    });
                 }
             }
         }

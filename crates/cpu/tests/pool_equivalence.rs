@@ -1,0 +1,103 @@
+//! Equivalence proof for the executor migration: the pooled
+//! multi-segment decoder must produce *bit-identical* output to the old
+//! spawn-per-wave strategy it replaced. Segment decoding is deterministic
+//! given the input blocks, so any divergence is an executor bug (dropped
+//! task, mis-routed slot, cross-segment state bleed).
+
+use nc_cpu::ParallelSegmentDecoder;
+use nc_rlnc::{CodedBlock, CodingConfig, Decoder, Encoder, Segment};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn coded_segments(
+    config: CodingConfig,
+    count: usize,
+    extra: usize,
+    seed: u64,
+) -> (Vec<Vec<u8>>, Vec<Vec<CodedBlock>>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut originals = Vec::with_capacity(count);
+    let mut coded = Vec::with_capacity(count);
+    for _ in 0..count {
+        let data: Vec<u8> = (0..config.segment_bytes()).map(|_| rng.gen()).collect();
+        let segment = Segment::from_bytes(config, data.clone()).unwrap();
+        let encoder = Encoder::new(segment);
+        coded.push(encoder.encode_batch(&mut rng, config.blocks() + extra));
+        originals.push(data);
+    }
+    (originals, coded)
+}
+
+/// The pre-pool strategy, verbatim: one `std::thread::scope` per call,
+/// fresh threads each wave, segments chunked across them.
+fn spawn_per_wave_decode(
+    config: CodingConfig,
+    threads: usize,
+    segments: &[Vec<CodedBlock>],
+) -> Vec<Vec<u8>> {
+    let mut results: Vec<Option<Vec<u8>>> = (0..segments.len()).map(|_| None).collect();
+    let threads = threads.max(1).min(segments.len().max(1));
+    let chunk = segments.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (seg_chunk, out_chunk) in segments.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (blocks, slot) in seg_chunk.iter().zip(out_chunk.iter_mut()) {
+                    let mut decoder = Decoder::new(config);
+                    for b in blocks {
+                        if decoder.is_complete() {
+                            break;
+                        }
+                        decoder.push(b.clone()).unwrap();
+                    }
+                    *slot = Some(decoder.try_recover().unwrap());
+                }
+            });
+        }
+    });
+    results.into_iter().map(|r| r.unwrap()).collect()
+}
+
+#[test]
+fn pooled_decode_is_bit_identical_to_spawn_per_wave() {
+    let config = CodingConfig::new(8, 64).unwrap();
+    for &(segments, threads) in
+        &[(1usize, 8usize), (3, 2), (8, 8), (17, 4), (64, 8), (64, 3), (5, 16)]
+    {
+        let (originals, coded) = coded_segments(config, segments, 4, 0xEC0DE + segments as u64);
+        let baseline = spawn_per_wave_decode(config, threads, &coded);
+        let pooled = ParallelSegmentDecoder::new(config, threads).decode_segments(&coded).unwrap();
+        assert_eq!(
+            pooled, baseline,
+            "{segments} segments on {threads} threads: pooled decode diverged"
+        );
+        assert_eq!(pooled, originals, "{segments} segments: decode does not recover sources");
+    }
+}
+
+#[test]
+fn pooled_decode_is_stable_across_repeated_waves() {
+    // Steady-state reuse: the same persistent pool (and recycled buffers)
+    // must keep producing identical output over many waves.
+    let config = CodingConfig::new(8, 64).unwrap();
+    let (originals, coded) = coded_segments(config, 16, 4, 99);
+    let decoder = ParallelSegmentDecoder::new(config, 4);
+    let first = decoder.decode_segments(&coded).unwrap();
+    assert_eq!(first, originals);
+    for wave in 0..20 {
+        let again = decoder.decode_segments(&coded).unwrap();
+        assert_eq!(again, first, "wave {wave} diverged from the first decode");
+    }
+}
+
+#[test]
+fn undecodable_segment_is_reported_with_its_index() {
+    let config = CodingConfig::new(8, 64).unwrap();
+    let (_, mut coded) = coded_segments(config, 6, 2, 5);
+    // Starve segment 4 of rank: too few blocks to ever complete.
+    coded[4].truncate(config.blocks() - 1);
+    let err = ParallelSegmentDecoder::new(config, 4).decode_segments(&coded).unwrap_err();
+    match err {
+        nc_rlnc::Error::SegmentDecode { segment, .. } => assert_eq!(segment, 4),
+        other => panic!("expected SegmentDecode, got {other:?}"),
+    }
+}

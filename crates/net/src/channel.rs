@@ -8,6 +8,7 @@
 //! is reproducible; deployment runs the same state machines over
 //! [`UdpChannel`], optionally still wrapped in the fault injector.
 
+use nc_pool::{BytesPool, PooledBuf};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::io;
@@ -30,10 +31,15 @@ pub trait Channel: Send {
     /// Receives one datagram, waiting up to `timeout` (a zero timeout
     /// polls). `Ok(None)` means nothing arrived in time.
     ///
+    /// The datagram arrives in a [`PooledBuf`] (deref: `&[u8]`) whose
+    /// storage returns to the process-wide [`BytesPool`] on drop, so a
+    /// hot receive loop recycles one allocation instead of `Vec`-ing
+    /// every datagram.
+    ///
     /// # Errors
     ///
     /// I/O errors from the underlying transport.
-    fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Option<Vec<u8>>>;
+    fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Option<PooledBuf>>;
 }
 
 // ---------------------------------------------------------------------------
@@ -89,7 +95,7 @@ impl Channel for UdpChannel {
         }
     }
 
-    fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Option<Vec<u8>>> {
+    fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Option<PooledBuf>> {
         let want = if timeout.is_zero() { None } else { Some(timeout) };
         if self.read_mode != Some(want) {
             match want {
@@ -102,7 +108,10 @@ impl Channel for UdpChannel {
             self.read_mode = Some(want);
         }
         match self.socket.recv(&mut self.buf) {
-            Ok(len) => Ok(Some(self.buf[..len].to_vec())),
+            Ok(len) => {
+                crate::metrics::metrics().rx_bytes_copied.add(len as u64);
+                Ok(Some(BytesPool::global().take_copy(&self.buf[..len])))
+            }
             Err(e)
                 if matches!(
                     e.kind(),
@@ -140,21 +149,23 @@ pub fn memory_pair() -> (MemoryChannel, MemoryChannel) {
 
 impl Channel for MemoryChannel {
     fn send(&mut self, bytes: &[u8]) -> io::Result<()> {
-        // A dropped peer is loss, not failure (UDP semantics).
-        let _ = self.tx.send(bytes.to_vec());
+        // A dropped peer is loss, not failure (UDP semantics). The copy
+        // reuses pool capacity; the receiving end's `PooledBuf` returns
+        // it when the datagram is consumed.
+        let _ = self.tx.send(BytesPool::global().take_vec_copy(bytes));
         Ok(())
     }
 
-    fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Option<Vec<u8>>> {
+    fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Option<PooledBuf>> {
         use crossbeam::channel::{RecvTimeoutError, TryRecvError};
         if timeout.is_zero() {
             return match self.rx.try_recv() {
-                Ok(bytes) => Ok(Some(bytes)),
+                Ok(bytes) => Ok(Some(BytesPool::global().wrap(bytes))),
                 Err(TryRecvError::Empty | TryRecvError::Disconnected) => Ok(None),
             };
         }
         match self.rx.recv_timeout(timeout) {
-            Ok(bytes) => Ok(Some(bytes)),
+            Ok(bytes) => Ok(Some(BytesPool::global().wrap(bytes))),
             Err(RecvTimeoutError::Timeout) => Ok(None),
             // The peer hung up; nothing will ever arrive, but a datagram
             // transport has no connection state to report.
@@ -355,7 +366,7 @@ impl<C: Channel> Channel for FaultyChannel<C> {
         Ok(())
     }
 
-    fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Option<Vec<u8>>> {
+    fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Option<PooledBuf>> {
         self.inner.recv_timeout(timeout)
     }
 }

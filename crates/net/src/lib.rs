@@ -74,6 +74,7 @@ pub mod wire;
 pub use channel::{
     memory_pair, Channel, FaultProfile, FaultStats, FaultyChannel, MemoryChannel, UdpChannel,
 };
+pub use nc_pool::PooledBuf;
 pub use receiver::{
     run_receiver, ReceiverConfig, ReceiverOutcome, ReceiverReport, ReceiverSession,
 };

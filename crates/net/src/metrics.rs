@@ -26,6 +26,10 @@ pub(crate) struct NetMetrics {
     pub frames_dropped: Arc<Counter>,
     /// Extra deliveries the fault model duplicated.
     pub frames_duplicated: Arc<Counter>,
+    /// Bytes copied off a socket/receive buffer into a (recycled) pool
+    /// buffer on the receive path — the one copy that remains after the
+    /// per-datagram `to_vec` allocations were removed.
+    pub rx_bytes_copied: Arc<Counter>,
     /// Most recent EMA loss estimate of any session.
     pub loss_estimate: Arc<Gauge>,
     /// Most recent redundancy factor (`1/(1-loss)`, clamped).
@@ -51,6 +55,7 @@ pub(crate) fn metrics() -> &'static NetMetrics {
             sessions_failed: r.counter("net.sessions_failed"),
             frames_dropped: r.counter("net.frames_dropped"),
             frames_duplicated: r.counter("net.frames_duplicated"),
+            rx_bytes_copied: r.counter("net.rx_bytes_copied"),
             loss_estimate: r.gauge("net.loss_estimate"),
             redundancy_factor: r.gauge("net.redundancy_factor"),
             window_occupancy: r.gauge("net.window_occupancy"),

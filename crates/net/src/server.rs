@@ -159,7 +159,11 @@ impl Server {
         // Block briefly for the first datagram, then drain without waiting.
         let mut timeout = self.config.poll_interval;
         while let Some((peer, len)) = self.recv_one(timeout)? {
-            let bytes = self.buf[..len].to_vec();
+            // One copy off the shared socket buffer into recycled pool
+            // storage (dispatch needs `&mut self`, so it cannot borrow
+            // `self.buf` directly); the storage returns on drop.
+            crate::metrics::metrics().rx_bytes_copied.add(len as u64);
+            let bytes = nc_pool::BytesPool::global().take_copy(&self.buf[..len]);
             self.dispatch(peer, &bytes);
             timeout = Duration::ZERO;
         }

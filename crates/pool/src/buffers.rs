@@ -1,0 +1,370 @@
+//! Capacity-aware recycling of byte buffers.
+//!
+//! The coding hot paths move `Vec<u8>`s around constantly: every coded
+//! block carries a coefficient vector and a payload, every received
+//! datagram used to be `to_vec()`-ed off the socket buffer. [`BytesPool`]
+//! keeps those allocations alive between uses: takers get a `Vec` with
+//! recycled capacity when one fits, and a dropped [`PooledBuf`] hands its
+//! allocation straight back. [`BlockArena`] is the coded-block
+//! specialization: a process-wide pair of shelves (coefficients,
+//! payloads) so the vectors an [`Encoder`] mints come back from the
+//! [`Decoder`] that consumes them.
+//!
+//! [`Encoder`]: https://docs.rs/nc-rlnc
+//! [`Decoder`]: https://docs.rs/nc-rlnc
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::metrics::metrics;
+
+/// How many recycled vectors one pool keeps before dropping extras. High
+/// enough for a full decode wave's blocks, low enough to bound retained
+/// memory at a few MB of typical payloads.
+const DEFAULT_MAX_RETAINED: usize = 256;
+
+struct Shelf {
+    vecs: Mutex<Vec<Vec<u8>>>,
+    max_retained: usize,
+}
+
+/// A shelf of recycled byte buffers.
+///
+/// Cloning a `BytesPool` is cheap (an `Arc` bump) and clones share the
+/// shelf. Buffers come out either as plain `Vec<u8>`s the caller recycles
+/// explicitly ([`BytesPool::take_vec`] / [`BytesPool::recycle`]) or as
+/// [`PooledBuf`] guards that recycle themselves on drop.
+///
+/// ```
+/// let pool = nc_pool::BytesPool::new(8);
+/// let buf = pool.take_copy(b"datagram");
+/// assert_eq!(buf, b"datagram");
+/// drop(buf); // allocation returns to the shelf
+/// assert_eq!(pool.retained(), 1);
+/// ```
+#[derive(Clone)]
+pub struct BytesPool {
+    shelf: Arc<Shelf>,
+}
+
+impl std::fmt::Debug for BytesPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BytesPool").field("retained", &self.retained()).finish_non_exhaustive()
+    }
+}
+
+impl BytesPool {
+    /// A new pool retaining at most `max_retained` recycled vectors.
+    pub fn new(max_retained: usize) -> BytesPool {
+        BytesPool { shelf: Arc::new(Shelf { vecs: Mutex::new(Vec::new()), max_retained }) }
+    }
+
+    /// The process-wide pool used by the transport receive path.
+    pub fn global() -> &'static BytesPool {
+        static GLOBAL: OnceLock<BytesPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| BytesPool::new(DEFAULT_MAX_RETAINED))
+    }
+
+    /// Number of vectors currently shelved.
+    pub fn retained(&self) -> usize {
+        self.shelf.vecs.lock().expect("pool shelf lock").len()
+    }
+
+    /// A zeroed vector of exactly `len` bytes, reusing shelved capacity
+    /// when a large-enough allocation is available.
+    pub fn take_vec(&self, len: usize) -> Vec<u8> {
+        let mut v = self.grab(len).unwrap_or_else(|| Vec::with_capacity(len));
+        v.clear();
+        v.resize(len, 0);
+        v
+    }
+
+    /// A plain vector holding a copy of `src` (no zeroing pass — the copy
+    /// overwrites), reusing shelved capacity when available. The caller
+    /// recycles it explicitly, or lets downstream consumers do so.
+    pub fn take_vec_copy(&self, src: &[u8]) -> Vec<u8> {
+        let mut v = self.grab(src.len()).unwrap_or_else(|| Vec::with_capacity(src.len()));
+        v.clear();
+        v.extend_from_slice(src);
+        v
+    }
+
+    /// A [`PooledBuf`] holding a copy of `src` (no zeroing pass — the
+    /// copy overwrites). The buffer returns to this pool on drop.
+    pub fn take_copy(&self, src: &[u8]) -> PooledBuf {
+        let mut v = self.grab(src.len()).unwrap_or_else(|| Vec::with_capacity(src.len()));
+        v.clear();
+        v.extend_from_slice(src);
+        PooledBuf { vec: Some(v), pool: self.clone() }
+    }
+
+    /// Wraps an already-filled vector so it recycles into this pool on
+    /// drop (used when ownership of the bytes arrives from elsewhere,
+    /// e.g. an in-process channel).
+    pub fn wrap(&self, vec: Vec<u8>) -> PooledBuf {
+        PooledBuf { vec: Some(vec), pool: self.clone() }
+    }
+
+    /// Returns a vector's allocation to the shelf (dropped instead when
+    /// the shelf is full or the allocation is empty).
+    pub fn recycle(&self, vec: Vec<u8>) {
+        if vec.capacity() == 0 {
+            return;
+        }
+        let mut shelved = self.shelf.vecs.lock().expect("pool shelf lock");
+        if shelved.len() < self.shelf.max_retained {
+            metrics().bytes_recycled.add(vec.capacity() as u64);
+            shelved.push(vec);
+        }
+    }
+
+    /// Pops a shelved vector with at least `min_capacity`, if any,
+    /// recording the hit or miss.
+    fn grab(&self, min_capacity: usize) -> Option<Vec<u8>> {
+        let mut shelved = self.shelf.vecs.lock().expect("pool shelf lock");
+        // Newest-first: the most recently recycled allocation is the most
+        // likely to still be warm in cache.
+        let found = shelved.iter().rposition(|v| v.capacity() >= min_capacity);
+        match found {
+            Some(i) => {
+                let v = shelved.swap_remove(i);
+                metrics().buffer_hits.inc();
+                Some(v)
+            }
+            None => {
+                metrics().buffer_misses.inc();
+                None
+            }
+        }
+    }
+}
+
+/// An owned byte buffer that returns its allocation to its [`BytesPool`]
+/// when dropped. Dereferences to `[u8]`, so existing `&[u8]` consumers
+/// (wire parsers, session handlers) take it unchanged.
+pub struct PooledBuf {
+    /// `None` only after `into_vec` moved the storage out.
+    vec: Option<Vec<u8>>,
+    pool: BytesPool,
+}
+
+impl PooledBuf {
+    /// Extracts the underlying vector, opting out of recycling.
+    pub fn into_vec(mut self) -> Vec<u8> {
+        self.vec.take().expect("buffer present until into_vec")
+    }
+
+    fn bytes(&self) -> &[u8] {
+        self.vec.as_deref().expect("buffer present until into_vec")
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        if let Some(v) = self.vec.take() {
+            self.pool.recycle(v);
+        }
+    }
+}
+
+impl std::ops::Deref for PooledBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.bytes()
+    }
+}
+
+impl std::ops::DerefMut for PooledBuf {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        self.vec.as_deref_mut().expect("buffer present until into_vec")
+    }
+}
+
+impl AsRef<[u8]> for PooledBuf {
+    fn as_ref(&self) -> &[u8] {
+        self.bytes()
+    }
+}
+
+impl std::fmt::Debug for PooledBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(self.bytes(), f)
+    }
+}
+
+impl PartialEq for PooledBuf {
+    fn eq(&self, other: &PooledBuf) -> bool {
+        self.bytes() == other.bytes()
+    }
+}
+
+impl Eq for PooledBuf {}
+
+impl PartialEq<[u8]> for PooledBuf {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.bytes() == other
+    }
+}
+
+impl PartialEq<&[u8]> for PooledBuf {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.bytes() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for PooledBuf {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.bytes() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for PooledBuf {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.bytes() == other
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for PooledBuf {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.bytes() == *other
+    }
+}
+
+/// Process-wide recycling for coded-block storage: one shelf for
+/// coefficient vectors (short — `n` bytes), one for payloads (`k` bytes),
+/// so the two populations don't evict each other.
+///
+/// Encoders take zeroed buffers from the arena; a decoder recycles both
+/// halves of every block it absorbs once their bytes are folded into its
+/// RREF rows.
+pub struct BlockArena {
+    coeffs: BytesPool,
+    payloads: BytesPool,
+}
+
+impl std::fmt::Debug for BlockArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockArena")
+            .field("coeffs", &self.coeffs)
+            .field("payloads", &self.payloads)
+            .finish()
+    }
+}
+
+impl BlockArena {
+    /// An arena with its own (non-global) shelves.
+    pub fn new(max_retained: usize) -> BlockArena {
+        BlockArena { coeffs: BytesPool::new(max_retained), payloads: BytesPool::new(max_retained) }
+    }
+
+    /// The process-wide arena the encoder/decoder hot paths share.
+    pub fn global() -> &'static BlockArena {
+        static GLOBAL: OnceLock<BlockArena> = OnceLock::new();
+        GLOBAL.get_or_init(|| BlockArena::new(DEFAULT_MAX_RETAINED))
+    }
+
+    /// A zeroed coefficient vector of length `n`.
+    pub fn take_coeffs(&self, n: usize) -> Vec<u8> {
+        self.coeffs.take_vec(n)
+    }
+
+    /// A zeroed payload vector of length `k`.
+    pub fn take_payload(&self, k: usize) -> Vec<u8> {
+        self.payloads.take_vec(k)
+    }
+
+    /// A coefficient vector holding a copy of `src`.
+    pub fn copy_coeffs(&self, src: &[u8]) -> Vec<u8> {
+        self.coeffs.take_vec_copy(src)
+    }
+
+    /// A payload vector holding a copy of `src`.
+    pub fn copy_payload(&self, src: &[u8]) -> Vec<u8> {
+        self.payloads.take_vec_copy(src)
+    }
+
+    /// Recycles both halves of a consumed coded block.
+    pub fn recycle_block(&self, coeffs: Vec<u8>, payload: Vec<u8>) {
+        self.coeffs.recycle(coeffs);
+        self.payloads.recycle(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_copy_roundtrips_and_recycles() {
+        let pool = BytesPool::new(4);
+        let buf = pool.take_copy(b"hello");
+        assert_eq!(buf, b"hello");
+        assert_eq!(buf.len(), 5);
+        drop(buf);
+        assert_eq!(pool.retained(), 1);
+        // The next take of a smaller-or-equal size reuses the shelf.
+        let buf2 = pool.take_copy(b"hi");
+        assert_eq!(pool.retained(), 0);
+        assert_eq!(buf2, b"hi");
+    }
+
+    #[test]
+    fn take_vec_is_zeroed_even_after_recycling_dirty_bytes() {
+        let pool = BytesPool::new(4);
+        pool.recycle(vec![0xFFu8; 64]);
+        let v = pool.take_vec(32);
+        assert_eq!(v.len(), 32);
+        assert!(v.iter().all(|&b| b == 0), "recycled buffer must be zeroed");
+    }
+
+    #[test]
+    fn retention_is_bounded() {
+        let pool = BytesPool::new(2);
+        for _ in 0..10 {
+            pool.recycle(vec![1u8; 8]);
+        }
+        assert_eq!(pool.retained(), 2);
+    }
+
+    #[test]
+    fn undersized_shelf_entries_are_skipped() {
+        let pool = BytesPool::new(4);
+        pool.recycle(vec![0u8; 4]);
+        let v = pool.take_vec(1024); // too big for the shelved 4-byte vec
+        assert_eq!(v.len(), 1024);
+        assert_eq!(pool.retained(), 1, "the small vec stays shelved");
+    }
+
+    #[test]
+    fn into_vec_opts_out_of_recycling() {
+        let pool = BytesPool::new(4);
+        let buf = pool.take_copy(b"keep");
+        let v = buf.into_vec();
+        assert_eq!(v, b"keep");
+        assert_eq!(pool.retained(), 0);
+    }
+
+    #[test]
+    fn pooled_buf_equality_shapes() {
+        let pool = BytesPool::new(4);
+        let a = pool.take_copy(b"abc");
+        let b = pool.take_copy(b"abc");
+        assert_eq!(a, b);
+        assert_eq!(a, *b"abc");
+        assert_eq!(a, b"abc");
+        assert_eq!(a, vec![b'a', b'b', b'c']);
+        assert_eq!(a, b"abc"[..]);
+        assert!(a != b"abd");
+    }
+
+    #[test]
+    fn arena_keeps_coeffs_and_payloads_apart() {
+        let arena = BlockArena::new(4);
+        arena.recycle_block(vec![1u8; 8], vec![2u8; 64]);
+        let c = arena.take_coeffs(8);
+        let p = arena.take_payload(64);
+        assert!(c.iter().all(|&b| b == 0));
+        assert!(p.iter().all(|&b| b == 0));
+        assert_eq!(c.capacity(), 8);
+        assert_eq!(p.capacity(), 64);
+    }
+}

@@ -1,0 +1,439 @@
+//! The persistent work-stealing worker pool.
+//!
+//! One OS thread per requested core, spawned once and parked between
+//! bursts. Each worker owns a deque it pushes and pops LIFO (hot cache
+//! for recursive fan-out); tasks submitted from outside the pool land on
+//! a global FIFO injector; an idle worker drains its own deque, then the
+//! injector, then steals FIFO (the *oldest* task — the one whose cache is
+//! coldest anyway) from a sibling. The only public way to run work is
+//! [`Pool::scope`], which blocks until every task spawned inside it has
+//! completed, so tasks may freely borrow from the caller's stack.
+//!
+//! Panic discipline: a panicking task poisons its own scope only. The
+//! worker that ran it survives; the first panic payload is stashed and
+//! [`std::panic::resume_unwind`]-ed on the scope's caller after all of
+//! the scope's tasks have joined — mirroring the contract the per-wave
+//! `crossbeam::scope` call sites had.
+
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::metrics::metrics;
+
+/// A lifetime-erased unit of work. Every task is self-contained: it
+/// catches its own panic and performs its own scope bookkeeping, so the
+/// executing thread (worker or helping caller) runs it blindly.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+// Worker identity of the current thread, if it is a pool worker:
+// `(pool id, worker index)`. Lets `Scope::spawn` push to the local
+// deque and lets a helping caller drain its own deque first.
+thread_local! {
+    static WORKER: std::cell::Cell<Option<(usize, usize)>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Fresh identity per pool so worker-locality checks cannot cross pools.
+static POOL_IDS: AtomicUsize = AtomicUsize::new(0);
+
+struct Shared {
+    id: usize,
+    /// Global FIFO for tasks submitted from non-worker threads.
+    injector: Mutex<VecDeque<Task>>,
+    /// Per-worker deques: the owner pops LIFO, thieves steal FIFO.
+    locals: Vec<Mutex<VecDeque<Task>>>,
+    /// Queued-but-unclaimed tasks — the park/unpark condition.
+    pending: AtomicUsize,
+    /// Parking lot shared by idle workers and scope waiters.
+    sleep: Mutex<()>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Pops one task: own deque (LIFO), then injector (FIFO), then steal
+    /// (FIFO) from siblings. `me` is the caller's worker index, if any.
+    fn find_task(&self, me: Option<usize>) -> Option<Task> {
+        if let Some(i) = me {
+            if let Some(task) = self.locals[i].lock().expect("pool lock").pop_back() {
+                self.note_pop();
+                return Some(task);
+            }
+        }
+        if let Some(task) = self.injector.lock().expect("pool lock").pop_front() {
+            self.note_pop();
+            return Some(task);
+        }
+        let n = self.locals.len();
+        // Start at a rotating offset so thieves don't all hammer worker 0.
+        let start = self.pending.load(Ordering::Relaxed);
+        for k in 0..n {
+            let j = (start + k) % n;
+            if Some(j) == me {
+                continue;
+            }
+            if let Some(task) = self.locals[j].lock().expect("pool lock").pop_front() {
+                metrics().steals.inc();
+                self.note_pop();
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    fn note_pop(&self) {
+        let left = self.pending.fetch_sub(1, Ordering::AcqRel) - 1;
+        metrics().queue_depth.set(left as f64);
+    }
+
+    /// Wakes at least one parked thread. Bracketing the notify with the
+    /// sleep mutex closes the race against a thread that has checked the
+    /// park condition but not yet entered `wait`.
+    fn notify(&self, all: bool) {
+        drop(self.sleep.lock().expect("pool lock"));
+        if all {
+            self.wake.notify_all();
+        } else {
+            self.wake.notify_one();
+        }
+    }
+}
+
+/// A persistent pool of worker threads with per-worker LIFO deques, a
+/// global injector, and FIFO stealing.
+///
+/// Construct one directly with [`Pool::new`], or share a process-wide
+/// instance per thread count with [`Pool::shared`] /
+/// [`Pool::global`] — the call sites that used to spawn a thread wave per
+/// batch all go through [`Pool::shared`], so repeated batches reuse the
+/// same parked threads.
+///
+/// ```
+/// let pool = nc_pool::Pool::new(4);
+/// let mut totals = vec![0u64; 8];
+/// pool.scope(|scope| {
+///     for (i, t) in totals.iter_mut().enumerate() {
+///         scope.spawn(move || *t = (i as u64) * 2);
+///     }
+/// });
+/// assert_eq!(totals[7], 14);
+/// ```
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool").field("threads", &self.threads).finish_non_exhaustive()
+    }
+}
+
+impl Pool {
+    /// Spawns a pool of `threads` parked worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Pool {
+        assert!(threads > 0, "at least one worker thread required");
+        let shared = Arc::new(Shared {
+            id: POOL_IDS.fetch_add(1, Ordering::Relaxed),
+            injector: Mutex::new(VecDeque::new()),
+            locals: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: AtomicUsize::new(0),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("nc-pool-{i}"))
+                    .spawn(move || worker_main(shared, i))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Pool { shared, workers, threads }
+    }
+
+    /// The process-wide pool for a given thread count, created on first
+    /// use and kept alive (threads parked) for the rest of the process.
+    /// This is what keeps the `threads` knob of the CPU coders meaningful
+    /// while the workers themselves stay persistent.
+    pub fn shared(threads: usize) -> Arc<Pool> {
+        static POOLS: OnceLock<Mutex<HashMap<usize, Arc<Pool>>>> = OnceLock::new();
+        let pools = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
+        Arc::clone(
+            pools
+                .lock()
+                .expect("pool registry lock")
+                .entry(threads)
+                .or_insert_with(|| Arc::new(Pool::new(threads))),
+        )
+    }
+
+    /// The process-wide pool sized to the host's available parallelism.
+    pub fn global() -> Arc<Pool> {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        Pool::shared(threads)
+    }
+
+    /// Number of worker threads.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `op` with a [`Scope`] that can spawn borrowing tasks, and
+    /// returns only after **every** spawned task has completed — also on
+    /// the panic paths, which is what makes the borrows sound.
+    ///
+    /// While waiting, the calling thread helps execute pool tasks (its
+    /// own scope's or anyone else's), so scopes nest without deadlock
+    /// even when every worker is itself blocked in an inner scope.
+    ///
+    /// # Panics
+    ///
+    /// If a spawned task panics, the scope is poisoned: remaining tasks
+    /// still run to completion, and the *first* panic payload is resumed
+    /// on the caller. A panic in `op` itself takes precedence.
+    pub fn scope<'scope, OP, R>(&'scope self, op: OP) -> R
+    where
+        OP: FnOnce(&Scope<'scope>) -> R,
+    {
+        let scope = Scope {
+            pool: self,
+            state: Arc::new(ScopeState {
+                outstanding: AtomicUsize::new(0),
+                panic: Mutex::new(None),
+            }),
+            _marker: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| op(&scope)));
+        self.wait_scope(&scope.state);
+        match result {
+            Err(payload) => resume_unwind(payload),
+            Ok(value) => {
+                if let Some(payload) = scope.state.panic.lock().expect("scope lock").take() {
+                    resume_unwind(payload);
+                }
+                value
+            }
+        }
+    }
+
+    /// Blocks until `state.outstanding == 0`, executing queued tasks
+    /// while waiting instead of spinning or sleeping.
+    fn wait_scope(&self, state: &ScopeState) {
+        let me = current_worker(self.shared.id);
+        while state.outstanding.load(Ordering::Acquire) != 0 {
+            if let Some(task) = self.shared.find_task(me) {
+                metrics().tasks_executed.inc();
+                task();
+                continue;
+            }
+            let guard = self.shared.sleep.lock().expect("pool lock");
+            if state.outstanding.load(Ordering::Acquire) != 0
+                && self.shared.pending.load(Ordering::Acquire) == 0
+            {
+                // Timeout is a backstop only; task completion notifies.
+                let _ = self
+                    .shared
+                    .wake
+                    .wait_timeout(guard, Duration::from_millis(1))
+                    .expect("pool lock");
+            }
+        }
+    }
+
+    fn push_task(&self, task: Task) {
+        match current_worker(self.shared.id) {
+            Some(i) => self.shared.locals[i].lock().expect("pool lock").push_back(task),
+            None => self.shared.injector.lock().expect("pool lock").push_back(task),
+        }
+        let depth = self.shared.pending.fetch_add(1, Ordering::Release) + 1;
+        metrics().queue_depth.set(depth as f64);
+        self.shared.notify(false);
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.notify(true);
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn current_worker(pool_id: usize) -> Option<usize> {
+    WORKER.with(|w| match w.get() {
+        Some((id, index)) if id == pool_id => Some(index),
+        _ => None,
+    })
+}
+
+fn worker_main(shared: Arc<Shared>, index: usize) {
+    WORKER.with(|w| w.set(Some((shared.id, index))));
+    loop {
+        if let Some(task) = shared.find_task(Some(index)) {
+            metrics().tasks_executed.inc();
+            task();
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let parked = Instant::now();
+        {
+            let guard = shared.sleep.lock().expect("pool lock");
+            if shared.pending.load(Ordering::Acquire) == 0
+                && !shared.shutdown.load(Ordering::Acquire)
+            {
+                // The timeout bounds idle-time histogram buckets and lets
+                // a worker notice shutdown even under a lost wakeup.
+                let _ =
+                    shared.wake.wait_timeout(guard, Duration::from_millis(50)).expect("pool lock");
+            }
+        }
+        metrics().worker_idle_ns.record(parked.elapsed().as_nanos() as u64);
+    }
+}
+
+struct ScopeState {
+    /// Spawned-but-unfinished task count of this scope.
+    outstanding: AtomicUsize,
+    /// First panic payload raised by a task of this scope.
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+/// Spawn handle passed to the closure of [`Pool::scope`]. Tasks may
+/// borrow anything that outlives the scope call.
+pub struct Scope<'scope> {
+    pool: &'scope Pool,
+    state: Arc<ScopeState>,
+    /// Makes `'scope` invariant, as `std::thread::scope` does, so the
+    /// borrow checker cannot shrink it below the data the tasks capture.
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl std::fmt::Debug for Scope<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scope")
+            .field("outstanding", &self.state.outstanding.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns `f` onto the pool. From a worker thread the task goes to
+    /// that worker's own deque (LIFO — it will likely run it next, hot in
+    /// cache); from any other thread it goes to the global injector.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.state.outstanding.fetch_add(1, Ordering::Relaxed);
+        let state = Arc::clone(&self.state);
+        let shared = Arc::clone(&self.pool.shared);
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                let mut slot = state.panic.lock().expect("scope lock");
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            if state.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last task of the scope: wake the (possibly parked)
+                // scope caller. notify_all because workers share the
+                // condvar; they re-park immediately.
+                shared.notify(true);
+            }
+        });
+        // SAFETY: `Pool::scope` does not return until `outstanding == 0`
+        // on every path (including caller/task panics), so the closure —
+        // and every `'scope` borrow inside it — is dropped before the
+        // data it borrows can be. The two trait objects differ only in
+        // the lifetime bound, which has no layout effect.
+        let task: Task =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(task) };
+        self.pool.push_task(task);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn scope_runs_borrowing_tasks() {
+        let pool = Pool::new(4);
+        let mut data = vec![0u64; 100];
+        pool.scope(|scope| {
+            for (i, slot) in data.iter_mut().enumerate() {
+                scope.spawn(move || *slot = i as u64 + 1);
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64 + 1));
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let pool = Pool::new(2);
+        let value = pool.scope(|_| 42u32);
+        assert_eq!(value, 42);
+    }
+
+    #[test]
+    fn shared_pools_are_cached_per_thread_count() {
+        let a = Pool::shared(3);
+        let b = Pool::shared(3);
+        let c = Pool::shared(5);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(a.threads(), 3);
+        assert_eq!(c.threads(), 5);
+    }
+
+    #[test]
+    fn many_sequential_scopes_reuse_the_same_workers() {
+        // The perf point of the crate: no thread churn across waves.
+        let pool = Pool::new(4);
+        let total = AtomicU64::new(0);
+        for _ in 0..200 {
+            pool.scope(|scope| {
+                for _ in 0..8 {
+                    scope.spawn(|| {
+                        total.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 1600);
+    }
+
+    #[test]
+    fn dropping_a_pool_joins_its_workers() {
+        let pool = Pool::new(2);
+        let hits = AtomicU64::new(0);
+        pool.scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        drop(pool);
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+}

@@ -1,0 +1,43 @@
+//! Telemetry handles for the executor and the buffer pools.
+//!
+//! Handles are fetched once into a `OnceLock` so the hot paths record
+//! through pre-resolved `Arc`s; with `NC_TELEMETRY=off` every call site
+//! reduces to a relaxed atomic load and a branch.
+
+use std::sync::{Arc, OnceLock};
+
+use nc_telemetry::{Counter, Gauge, Histogram};
+
+pub(crate) struct PoolMetrics {
+    /// Tasks executed by any worker (or by a caller helping while waiting
+    /// on its scope).
+    pub tasks_executed: Arc<Counter>,
+    /// Tasks a worker took from another worker's deque.
+    pub steals: Arc<Counter>,
+    /// Queued-but-unclaimed tasks, sampled at every push/pop.
+    pub queue_depth: Arc<Gauge>,
+    /// Time a worker spends parked between tasks.
+    pub worker_idle_ns: Arc<Histogram>,
+    /// Buffer requests served from a recycled allocation.
+    pub buffer_hits: Arc<Counter>,
+    /// Buffer requests that had to allocate fresh.
+    pub buffer_misses: Arc<Counter>,
+    /// Capacity (bytes) returned to a pool shelf by recycling.
+    pub bytes_recycled: Arc<Counter>,
+}
+
+pub(crate) fn metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = nc_telemetry::default_registry();
+        PoolMetrics {
+            tasks_executed: r.counter("pool.tasks_executed"),
+            steals: r.counter("pool.steals"),
+            queue_depth: r.gauge("pool.queue_depth"),
+            worker_idle_ns: r.histogram("pool.worker_idle_ns"),
+            buffer_hits: r.counter("pool.buffer_hits"),
+            buffer_misses: r.counter("pool.buffer_misses"),
+            bytes_recycled: r.counter("pool.bytes_recycled"),
+        }
+    })
+}

@@ -1,0 +1,225 @@
+//! Edge-case coverage for the executor's poisoning, nesting, and
+//! interleaving behaviour — the properties the coding hot paths rely on
+//! but rarely exercise.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use nc_pool::Pool;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+// ---------------------------------------------------------------------------
+// Panic poisoning
+// ---------------------------------------------------------------------------
+
+#[test]
+fn panic_poisons_only_its_own_scope_and_is_resumed_on_the_caller() {
+    let pool = Pool::new(4);
+    let survivors = Arc::new(AtomicUsize::new(0));
+
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool.scope(|scope| {
+            for i in 0..16 {
+                let survivors = Arc::clone(&survivors);
+                scope.spawn(move || {
+                    if i == 7 {
+                        panic!("task 7 exploded");
+                    }
+                    survivors.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+    }));
+
+    // The panic payload crossed back to the caller...
+    let payload = result.expect_err("scope must resume the task panic");
+    let msg = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .map(String::from)
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_default();
+    assert!(msg.contains("task 7 exploded"), "unexpected payload: {msg:?}");
+
+    // ...every *other* task in the poisoned scope still ran to completion
+    // (spawned tasks are never silently dropped)...
+    assert_eq!(survivors.load(Ordering::Relaxed), 15);
+
+    // ...and the pool itself is not poisoned: fresh scopes work.
+    let after = pool.scope(|scope| {
+        let count = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let count = Arc::clone(&count);
+            scope.spawn(move || {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        count
+    });
+    assert_eq!(after.load(Ordering::Relaxed), 8);
+}
+
+#[test]
+fn first_panic_wins_when_several_tasks_panic() {
+    let pool = Pool::new(2);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool.scope(|scope| {
+            for i in 0..8 {
+                scope.spawn(move || panic!("boom {i}"));
+            }
+        });
+    }));
+    let payload = result.expect_err("a panic must propagate");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(msg.starts_with("boom "), "payload should be one of the task panics: {msg:?}");
+}
+
+#[test]
+fn closure_panic_takes_precedence_over_task_panics() {
+    let pool = Pool::new(2);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool.scope(|scope| {
+            scope.spawn(|| panic!("task panic"));
+            panic!("op panic");
+        });
+    }));
+    let payload = result.expect_err("panic must propagate");
+    let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+    assert_eq!(msg, "op panic", "the scope closure's own panic is the one resumed");
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate scopes
+// ---------------------------------------------------------------------------
+
+#[test]
+fn zero_task_scope_returns_immediately() {
+    let pool = Pool::new(4);
+    for _ in 0..100 {
+        let out = pool.scope(|_| 42);
+        assert_eq!(out, 42);
+    }
+}
+
+#[test]
+fn single_task_on_single_thread_pool() {
+    let pool = Pool::new(1);
+    let mut value = 0u64;
+    pool.scope(|scope| {
+        scope.spawn(|| value = 99);
+    });
+    assert_eq!(value, 99);
+}
+
+// ---------------------------------------------------------------------------
+// Nesting
+// ---------------------------------------------------------------------------
+
+#[test]
+fn nested_scopes_on_the_same_pool_do_not_deadlock() {
+    // A task spawned on the pool opens its own scope on the same pool.
+    // Waiters help execute queued tasks, so this must complete even when
+    // every worker is occupied by an outer task.
+    let pool = Pool::new(2);
+    let total = Arc::new(AtomicUsize::new(0));
+    pool.scope(|outer| {
+        for _ in 0..4 {
+            let total = Arc::clone(&total);
+            outer.spawn(move || {
+                // Inner scope from inside a worker thread.
+                Pool::shared(2).scope(|inner| {
+                    for _ in 0..4 {
+                        let total = Arc::clone(&total);
+                        inner.spawn(move || {
+                            total.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            });
+        }
+    });
+    assert_eq!(total.load(Ordering::Relaxed), 16);
+}
+
+#[test]
+fn inner_scope_panic_does_not_poison_the_outer_scope() {
+    let pool = Pool::new(2);
+    let outer_ok = Arc::new(AtomicUsize::new(0));
+    pool.scope(|outer| {
+        let outer_ok = Arc::clone(&outer_ok);
+        outer.spawn(move || {
+            let inner = catch_unwind(AssertUnwindSafe(|| {
+                Pool::shared(2).scope(|s| {
+                    s.spawn(|| panic!("inner"));
+                });
+            }));
+            assert!(inner.is_err(), "inner scope must surface its panic");
+            outer_ok.fetch_add(1, Ordering::Relaxed);
+        });
+    });
+    assert_eq!(outer_ok.load(Ordering::Relaxed), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded interleaving smoke test
+// ---------------------------------------------------------------------------
+
+/// Randomised (but seeded, hence reproducible) schedule shaker in the
+/// spirit of `nc-gpu-sim`'s sanitizer: many scopes of random shape with
+/// random task durations, checking the join invariant every time — every
+/// spawned task has fully run before `scope` returns.
+#[test]
+fn seeded_interleaving_smoke() {
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(0xC0DE_0000 + seed);
+        let pool = Pool::new(1 + (seed as usize % 4));
+        for _wave in 0..50 {
+            let tasks = rng.gen_range(0..24usize);
+            let log = Arc::new(Mutex::new(vec![false; tasks]));
+            let spins: Vec<u32> = (0..tasks).map(|_| rng.gen_range(0..2000)).collect();
+            pool.scope(|scope| {
+                for (i, &spin) in spins.iter().enumerate() {
+                    let log = Arc::clone(&log);
+                    scope.spawn(move || {
+                        // Unequal task lengths force steals and idle parks.
+                        for _ in 0..spin {
+                            std::hint::spin_loop();
+                        }
+                        log.lock().unwrap()[i] = true;
+                    });
+                }
+            });
+            let done = log.lock().unwrap();
+            assert!(
+                done.iter().all(|&d| d),
+                "seed {seed}: scope returned before all tasks ran: {done:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn scope_results_are_deterministic_under_work_stealing() {
+    // The *schedule* is nondeterministic; the *result* must not be.
+    // Sum into per-task slots (no ordering dependence) and compare runs.
+    let pool = Pool::new(4);
+    let run = |seed: u64| -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inputs: Vec<u64> = (0..64).map(|_| rng.gen()).collect();
+        let mut out = vec![0u64; inputs.len()];
+        pool.scope(|scope| {
+            for (slot, &x) in out.iter_mut().zip(&inputs) {
+                scope.spawn(move || *slot = x.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            }
+        });
+        out
+    };
+    assert_eq!(run(7), run(7));
+    assert_ne!(run(7), run(8));
+}

@@ -15,6 +15,7 @@
 //! | [`net`] | Lossy-datagram coded transport: UDP, fault injection, sessions |
 //! | [`p2p`] | The Avalanche-style content-distribution swarm |
 //! | [`telemetry`] | Zero-dependency metrics: counters, histograms, JSON snapshots |
+//! | [`pool`] | Persistent work-stealing executor + recycled buffer shelves |
 //!
 //! Start with the runnable examples:
 //!
@@ -40,6 +41,7 @@ pub use nc_gpu as gpu;
 pub use nc_gpu_sim as gpu_sim;
 pub use nc_net as net;
 pub use nc_p2p as p2p;
+pub use nc_pool as pool;
 pub use nc_rlnc as rlnc;
 pub use nc_streaming as streaming;
 pub use nc_telemetry as telemetry;

@@ -67,11 +67,12 @@ impl Bencher {
 /// Top-level benchmark driver.
 pub struct Criterion {
     sample_size: u64,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Criterion {
-        Criterion { sample_size: 10 }
+        Criterion { sample_size: 10, test_mode: false }
     }
 }
 
@@ -82,10 +83,23 @@ impl Criterion {
         self
     }
 
-    /// Upstream parses CLI arguments here; the shim accepts and ignores
-    /// them.
-    pub fn configure_from_args(self) -> Criterion {
+    /// Upstream parses the full CLI here; the shim honors just `--test`
+    /// (cargo's smoke mode: run every benchmark once, skip measurement —
+    /// sticky against later `sample_size` overrides) and ignores
+    /// everything else.
+    pub fn configure_from_args(mut self) -> Criterion {
+        if std::env::args().any(|a| a == "--test") {
+            self.test_mode = true;
+        }
         self
+    }
+
+    fn effective_samples(&self) -> u64 {
+        if self.test_mode {
+            1
+        } else {
+            self.sample_size
+        }
     }
 
     /// Opens a named benchmark group.
@@ -99,7 +113,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(self.sample_size, &id.to_string(), f);
+        run_one(self.effective_samples(), &id.to_string(), f);
         self
     }
 }
@@ -127,7 +141,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(self.criterion.sample_size, &id.to_string(), f);
+        run_one(self.criterion.effective_samples(), &id.to_string(), f);
         self
     }
 
@@ -141,7 +155,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        run_one(self.criterion.sample_size, &id.to_string(), |b| f(b, input));
+        run_one(self.criterion.effective_samples(), &id.to_string(), |b| f(b, input));
         self
     }
 
@@ -203,5 +217,13 @@ mod tests {
     #[test]
     fn group_macro_produces_runnable_fn() {
         benches();
+    }
+
+    #[test]
+    fn test_mode_is_sticky_over_sample_size() {
+        let c = Criterion { sample_size: 50, test_mode: true };
+        assert_eq!(c.effective_samples(), 1);
+        let c = Criterion::default().sample_size(50);
+        assert_eq!(c.effective_samples(), 50);
     }
 }
