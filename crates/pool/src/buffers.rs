@@ -5,7 +5,10 @@
 //! datagram used to be `to_vec()`-ed off the socket buffer. [`BytesPool`]
 //! keeps those allocations alive between uses: takers get a `Vec` with
 //! recycled capacity when one fits, and a dropped [`PooledBuf`] hands its
-//! allocation straight back. [`BlockArena`] is the coded-block
+//! allocation straight back. Shelves are bucketed by power-of-two
+//! capacity class, each bucket behind its own lock, so the take/recycle
+//! fast path is an O(1) pop and concurrent workers recycling
+//! different-sized buffers never contend. [`BlockArena`] is the coded-block
 //! specialization: a process-wide pair of shelves (coefficients,
 //! payloads) so the vectors an [`Encoder`] mints come back from the
 //! [`Decoder`] that consumes them.
@@ -13,6 +16,7 @@
 //! [`Encoder`]: https://docs.rs/nc-rlnc
 //! [`Decoder`]: https://docs.rs/nc-rlnc
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::metrics::metrics;
@@ -22,8 +26,30 @@ use crate::metrics::metrics;
 /// memory at a few MB of typical payloads.
 const DEFAULT_MAX_RETAINED: usize = 256;
 
+/// Number of capacity classes: bucket `b` shelves vectors whose capacity
+/// `c` satisfies `2^b <= c < 2^(b+1)`.
+const BUCKETS: usize = usize::BITS as usize;
+
+/// How many classes above the requested one a take probes before giving
+/// up. Bounds both the worst-case work per miss and how oversized a
+/// handed-out buffer can be (at most ~2^`BUCKET_PROBES`× the request).
+const BUCKET_PROBES: usize = 3;
+
+/// The capacity class a vector of capacity `c >= 1` shelves into.
+fn class_of(c: usize) -> usize {
+    c.ilog2() as usize
+}
+
 struct Shelf {
-    vecs: Mutex<Vec<Vec<u8>>>,
+    /// Size-class buckets, each with its own lock, so concurrent takers
+    /// and recyclers of different sizes never contend and a take is a
+    /// handful of O(1) pops instead of a linear scan of every shelved
+    /// vector under one pool-wide mutex.
+    buckets: Vec<Mutex<Vec<Vec<u8>>>>,
+    /// Total shelved count across buckets; bounds retention without
+    /// taking any bucket lock. Incremented *before* a recycle's push and
+    /// decremented *after* a take's pop, so it can never underflow.
+    retained: AtomicUsize,
     max_retained: usize,
 }
 
@@ -55,7 +81,13 @@ impl std::fmt::Debug for BytesPool {
 impl BytesPool {
     /// A new pool retaining at most `max_retained` recycled vectors.
     pub fn new(max_retained: usize) -> BytesPool {
-        BytesPool { shelf: Arc::new(Shelf { vecs: Mutex::new(Vec::new()), max_retained }) }
+        BytesPool {
+            shelf: Arc::new(Shelf {
+                buckets: (0..BUCKETS).map(|_| Mutex::new(Vec::new())).collect(),
+                retained: AtomicUsize::new(0),
+                max_retained,
+            }),
+        }
     }
 
     /// The process-wide pool used by the transport receive path.
@@ -66,7 +98,7 @@ impl BytesPool {
 
     /// Number of vectors currently shelved.
     pub fn retained(&self) -> usize {
-        self.shelf.vecs.lock().expect("pool shelf lock").len()
+        self.shelf.retained.load(Ordering::Acquire)
     }
 
     /// A zeroed vector of exactly `len` bytes, reusing shelved capacity
@@ -107,34 +139,60 @@ impl BytesPool {
     /// Returns a vector's allocation to the shelf (dropped instead when
     /// the shelf is full or the allocation is empty).
     pub fn recycle(&self, vec: Vec<u8>) {
-        if vec.capacity() == 0 {
+        let capacity = vec.capacity();
+        if capacity == 0 {
             return;
         }
-        let mut shelved = self.shelf.vecs.lock().expect("pool shelf lock");
-        if shelved.len() < self.shelf.max_retained {
-            metrics().bytes_recycled.add(vec.capacity() as u64);
-            shelved.push(vec);
+        // Claim a retention slot before pushing so the count bounds the
+        // shelf without holding any bucket lock; losing the claim means
+        // the shelf is full and the allocation simply drops.
+        let claimed = self
+            .shelf
+            .retained
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < self.shelf.max_retained).then_some(n + 1)
+            })
+            .is_ok();
+        if claimed {
+            metrics().bytes_recycled.add(capacity as u64);
+            let mut bucket =
+                self.shelf.buckets[class_of(capacity)].lock().expect("pool shelf lock");
+            bucket.push(vec);
         }
     }
 
     /// Pops a shelved vector with at least `min_capacity`, if any,
     /// recording the hit or miss.
     fn grab(&self, min_capacity: usize) -> Option<Vec<u8>> {
-        let mut shelved = self.shelf.vecs.lock().expect("pool shelf lock");
-        // Newest-first: the most recently recycled allocation is the most
-        // likely to still be warm in cache.
-        let found = shelved.iter().rposition(|v| v.capacity() >= min_capacity);
-        match found {
-            Some(i) => {
-                let v = shelved.swap_remove(i);
+        let class = class_of(min_capacity.max(1));
+        // The requested size's own class can hold capacities on either
+        // side of `min_capacity`, so scan it newest-first (the most
+        // recently recycled allocation is the most likely to still be
+        // warm in cache) with a capacity check...
+        {
+            let mut bucket = self.shelf.buckets[class].lock().expect("pool shelf lock");
+            if let Some(i) = bucket.iter().rposition(|v| v.capacity() >= min_capacity) {
+                let v = bucket.swap_remove(i);
+                drop(bucket);
+                self.shelf.retained.fetch_sub(1, Ordering::AcqRel);
                 metrics().buffer_hits.inc();
-                Some(v)
-            }
-            None => {
-                metrics().buffer_misses.inc();
-                None
+                return Some(v);
             }
         }
+        // ...while every higher class guarantees a fit, so a plain pop
+        // suffices there. The probe window keeps a miss O(1) and stops
+        // tiny requests from consuming huge allocations.
+        for c in (class + 1)..(class + 1 + BUCKET_PROBES).min(BUCKETS) {
+            let popped = self.shelf.buckets[c].lock().expect("pool shelf lock").pop();
+            if let Some(v) = popped {
+                debug_assert!(v.capacity() >= min_capacity);
+                self.shelf.retained.fetch_sub(1, Ordering::AcqRel);
+                metrics().buffer_hits.inc();
+                return Some(v);
+            }
+        }
+        metrics().buffer_misses.inc();
+        None
     }
 }
 
@@ -323,6 +381,41 @@ mod tests {
             pool.recycle(vec![1u8; 8]);
         }
         assert_eq!(pool.retained(), 2);
+    }
+
+    #[test]
+    fn same_class_non_power_of_two_sizes_are_reused() {
+        // A uniform stream of oddly-sized payloads (the common coding
+        // workload) must hit: capacity 1100 shelves into the 1024-class
+        // bucket, and a take of 1100 has to find it there rather than
+        // only probing classes whose floor is >= 1100.
+        let pool = BytesPool::new(8);
+        pool.recycle(Vec::with_capacity(1100));
+        let v = pool.take_vec(1100);
+        assert!(v.capacity() >= 1100);
+        assert_eq!(pool.retained(), 0, "the shelved allocation was reused");
+    }
+
+    #[test]
+    fn in_class_entries_below_the_request_are_not_handed_out() {
+        // Capacity 1025 and request 2000 share the 1024-class bucket,
+        // but the shelved vec is too small and must be skipped.
+        let pool = BytesPool::new(8);
+        pool.recycle(Vec::with_capacity(1025));
+        let v = pool.take_vec(2000);
+        assert_eq!(v.len(), 2000);
+        assert_eq!(pool.retained(), 1, "the undersized vec stays shelved");
+    }
+
+    #[test]
+    fn takes_do_not_consume_wildly_oversized_allocations() {
+        // A 1 MiB buffer is outside the probe window of a 16-byte take:
+        // handing it out would pin huge capacity on a tiny use.
+        let pool = BytesPool::new(8);
+        pool.recycle(Vec::with_capacity(1 << 20));
+        let v = pool.take_vec(16);
+        assert!(v.capacity() < (1 << 20));
+        assert_eq!(pool.retained(), 1);
     }
 
     #[test]

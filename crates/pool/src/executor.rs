@@ -20,10 +20,24 @@ use std::collections::{HashMap, VecDeque};
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 use crate::metrics::metrics;
+
+/// Locks a pool mutex, recovering from poisoning instead of panicking.
+///
+/// The soundness of [`Scope::spawn`]'s lifetime erasure rests on
+/// [`Pool::scope`] never unwinding before all of its tasks have joined.
+/// A panic on a lock would violate exactly that, so the wait paths must
+/// keep functioning even if some thread ever poisoned a mutex. That is
+/// safe here because every pool mutex guards plain queue structure
+/// (`VecDeque`s of self-contained tasks, a registry map, a panic slot)
+/// whose invariants cannot be broken mid-critical-section: tasks run
+/// outside the locks, behind their own `catch_unwind`.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A lifetime-erased unit of work. Every task is self-contained: it
 /// catches its own panic and performs its own scope bookkeeping, so the
@@ -58,14 +72,20 @@ struct Shared {
 impl Shared {
     /// Pops one task: own deque (LIFO), then injector (FIFO), then steal
     /// (FIFO) from siblings. `me` is the caller's worker index, if any.
+    ///
+    /// Each pop binds the deque result to a local first so the
+    /// `MutexGuard` is dropped before `note_pop` runs — bookkeeping never
+    /// executes under a queue lock.
     fn find_task(&self, me: Option<usize>) -> Option<Task> {
         if let Some(i) = me {
-            if let Some(task) = self.locals[i].lock().expect("pool lock").pop_back() {
+            let task = lock(&self.locals[i]).pop_back();
+            if let Some(task) = task {
                 self.note_pop();
                 return Some(task);
             }
         }
-        if let Some(task) = self.injector.lock().expect("pool lock").pop_front() {
+        let task = lock(&self.injector).pop_front();
+        if let Some(task) = task {
             self.note_pop();
             return Some(task);
         }
@@ -77,7 +97,8 @@ impl Shared {
             if Some(j) == me {
                 continue;
             }
-            if let Some(task) = self.locals[j].lock().expect("pool lock").pop_front() {
+            let task = lock(&self.locals[j]).pop_front();
+            if let Some(task) = task {
                 metrics().steals.inc();
                 self.note_pop();
                 return Some(task);
@@ -86,16 +107,23 @@ impl Shared {
         None
     }
 
+    /// Records one claimed task. Saturating: `push_task` counts a task
+    /// *before* enqueueing it, so a pop can never outrun its push's
+    /// increment — but the counter is advisory (`find_task` never trusts
+    /// it), so it must also never underflow or panic.
     fn note_pop(&self) {
-        let left = self.pending.fetch_sub(1, Ordering::AcqRel) - 1;
-        metrics().queue_depth.set(left as f64);
+        let prev = self
+            .pending
+            .fetch_update(Ordering::AcqRel, Ordering::Relaxed, |p| Some(p.saturating_sub(1)))
+            .unwrap_or(0);
+        metrics().queue_depth.set(prev.saturating_sub(1) as f64);
     }
 
     /// Wakes at least one parked thread. Bracketing the notify with the
     /// sleep mutex closes the race against a thread that has checked the
     /// park condition but not yet entered `wait`.
     fn notify(&self, all: bool) {
-        drop(self.sleep.lock().expect("pool lock"));
+        drop(lock(&self.sleep));
         if all {
             self.wake.notify_all();
         } else {
@@ -168,16 +196,17 @@ impl Pool {
     /// use and kept alive (threads parked) for the rest of the process.
     /// This is what keeps the `threads` knob of the CPU coders meaningful
     /// while the workers themselves stay persistent.
+    ///
+    /// The registry is bounded: shared pools are never dropped (their
+    /// parked workers live for the rest of the process), so after
+    /// [`MAX_SHARED_POOLS`](Registry) distinct thread counts have been
+    /// materialised, further counts reuse the cached pool with the
+    /// nearest size (preferring a larger one) instead of accumulating
+    /// parked OS threads without bound. Callers that want an exactly
+    /// sized, reclaimable pool construct one with [`Pool::new`].
     pub fn shared(threads: usize) -> Arc<Pool> {
-        static POOLS: OnceLock<Mutex<HashMap<usize, Arc<Pool>>>> = OnceLock::new();
-        let pools = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
-        Arc::clone(
-            pools
-                .lock()
-                .expect("pool registry lock")
-                .entry(threads)
-                .or_insert_with(|| Arc::new(Pool::new(threads))),
-        )
+        static REGISTRY: OnceLock<Registry> = OnceLock::new();
+        REGISTRY.get_or_init(|| Registry::new(MAX_SHARED_POOLS)).get(threads)
     }
 
     /// The process-wide pool sized to the host's available parallelism.
@@ -199,6 +228,15 @@ impl Pool {
     /// While waiting, the calling thread helps execute pool tasks (its
     /// own scope's or anyone else's), so scopes nest without deadlock
     /// even when every worker is itself blocked in an inner scope.
+    ///
+    /// Helping is the rayon-style latency tradeoff: because queued tasks
+    /// carry no scope identity, a waiter can pick up an *unrelated* task
+    /// and be blocked behind it even after its own scope's last task
+    /// finishes, and deeply nested helping grows the caller's stack one
+    /// frame per re-entry. Fine-grained scopes (per-row operations) that
+    /// must not wait behind coarse work should therefore run on their own
+    /// [`Pool::new`] instance rather than a [`Pool::shared`] pool that
+    /// also serves whole-segment tasks.
     ///
     /// # Panics
     ///
@@ -222,7 +260,7 @@ impl Pool {
         match result {
             Err(payload) => resume_unwind(payload),
             Ok(value) => {
-                if let Some(payload) = scope.state.panic.lock().expect("scope lock").take() {
+                if let Some(payload) = lock(&scope.state.panic).take() {
                     resume_unwind(payload);
                 }
                 value
@@ -240,7 +278,7 @@ impl Pool {
                 task();
                 continue;
             }
-            let guard = self.shared.sleep.lock().expect("pool lock");
+            let guard = lock(&self.shared.sleep);
             if state.outstanding.load(Ordering::Acquire) != 0
                 && self.shared.pending.load(Ordering::Acquire) == 0
             {
@@ -249,19 +287,66 @@ impl Pool {
                     .shared
                     .wake
                     .wait_timeout(guard, Duration::from_millis(1))
-                    .expect("pool lock");
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         }
     }
 
     fn push_task(&self, task: Task) {
-        match current_worker(self.shared.id) {
-            Some(i) => self.shared.locals[i].lock().expect("pool lock").push_back(task),
-            None => self.shared.injector.lock().expect("pool lock").push_back(task),
-        }
+        // Count the task *before* it becomes visible in a queue. A
+        // spinning worker can pop the instant the deque lock is
+        // released, and in the reverse order that pop's `note_pop`
+        // would observe a pending count of zero. Over-counting in the
+        // window between the increment and the push is harmless:
+        // `find_task` never trusts `pending`, it only gates parking.
         let depth = self.shared.pending.fetch_add(1, Ordering::Release) + 1;
         metrics().queue_depth.set(depth as f64);
+        match current_worker(self.shared.id) {
+            Some(i) => lock(&self.shared.locals[i]).push_back(task),
+            None => lock(&self.shared.injector).push_back(task),
+        }
         self.shared.notify(false);
+    }
+}
+
+/// Most distinct thread counts [`Pool::shared`] materialises before it
+/// starts reusing nearest-sized pools. Real call sites use a handful of
+/// counts (the coders' `threads` knob plus `available_parallelism`); the
+/// cap only guards against pathological callers leaking a parked worker
+/// set per distinct count.
+const MAX_SHARED_POOLS: usize = 8;
+
+/// The bounded pool cache behind [`Pool::shared`]. Kept as a struct (not
+/// a bare static) so the capping policy is testable on a private
+/// instance without disturbing the process-wide registry.
+struct Registry {
+    cap: usize,
+    pools: Mutex<HashMap<usize, Arc<Pool>>>,
+}
+
+impl Registry {
+    fn new(cap: usize) -> Registry {
+        assert!(cap > 0, "registry must hold at least one pool");
+        Registry { cap, pools: Mutex::new(HashMap::new()) }
+    }
+
+    fn get(&self, threads: usize) -> Arc<Pool> {
+        let mut pools = lock(&self.pools);
+        if let Some(pool) = pools.get(&threads) {
+            return Arc::clone(pool);
+        }
+        if pools.len() >= self.cap {
+            // Full: reuse the nearest cached size, preferring a pool
+            // with at least the requested parallelism. Scopes complete
+            // correctly on any pool size — callers pick their own chunk
+            // counts — so only throughput, not correctness, is at stake.
+            let best = pools
+                .values()
+                .min_by_key(|p| (p.threads < threads, p.threads.abs_diff(threads)))
+                .expect("registry at cap is non-empty");
+            return Arc::clone(best);
+        }
+        Arc::clone(pools.entry(threads).or_insert_with(|| Arc::new(Pool::new(threads))))
     }
 }
 
@@ -295,14 +380,16 @@ fn worker_main(shared: Arc<Shared>, index: usize) {
         }
         let parked = Instant::now();
         {
-            let guard = shared.sleep.lock().expect("pool lock");
+            let guard = lock(&shared.sleep);
             if shared.pending.load(Ordering::Acquire) == 0
                 && !shared.shutdown.load(Ordering::Acquire)
             {
                 // The timeout bounds idle-time histogram buckets and lets
                 // a worker notice shutdown even under a lost wakeup.
-                let _ =
-                    shared.wake.wait_timeout(guard, Duration::from_millis(50)).expect("pool lock");
+                let _ = shared
+                    .wake
+                    .wait_timeout(guard, Duration::from_millis(50))
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         }
         metrics().worker_idle_ns.record(parked.elapsed().as_nanos() as u64);
@@ -347,7 +434,7 @@ impl<'scope> Scope<'scope> {
         let shared = Arc::clone(&self.pool.shared);
         let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
             if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
-                let mut slot = state.panic.lock().expect("scope lock");
+                let mut slot = lock(&state.panic);
                 if slot.is_none() {
                     *slot = Some(payload);
                 }
@@ -420,6 +507,67 @@ mod tests {
             });
         }
         assert_eq!(total.load(Ordering::Relaxed), 1600);
+    }
+
+    #[test]
+    fn racing_external_pushers_never_underflow_pending() {
+        // Regression: push_task used to enqueue before incrementing
+        // `pending`, so a spinning worker's pop could drive the counter
+        // below zero — a panic under the deque lock in debug builds,
+        // which hung the scope forever. Hammer the push/pop window with
+        // many single-task scopes from several non-worker threads; under
+        // the old ordering this reliably tripped overflow checks.
+        let pool = Arc::new(Pool::new(4));
+        let total = Arc::new(AtomicU64::new(0));
+        let pushers: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let total = Arc::clone(&total);
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        pool.scope(|scope| {
+                            let total = &total;
+                            scope.spawn(move || {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            });
+                        });
+                    }
+                })
+            })
+            .collect();
+        for handle in pushers {
+            handle.join().expect("pusher thread must not see a poisoned pool");
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 2000);
+        assert_eq!(pool.shared.pending.load(Ordering::Acquire), 0);
+    }
+
+    #[test]
+    fn registry_reuses_nearest_pool_once_full() {
+        let registry = Registry::new(3);
+        let one = registry.get(1);
+        let two = registry.get(2);
+        let eight = registry.get(8);
+        assert_eq!(lock(&registry.pools).len(), 3);
+
+        // At cap: an uncached count maps to the nearest cached size,
+        // preferring a pool with at least the requested parallelism.
+        assert!(Arc::ptr_eq(&registry.get(6), &eight));
+        assert!(Arc::ptr_eq(&registry.get(64), &eight));
+        assert_eq!(lock(&registry.pools).len(), 3, "no new pools past the cap");
+
+        // Cached counts still resolve exactly, and reused pools work.
+        assert!(Arc::ptr_eq(&registry.get(1), &one));
+        assert!(Arc::ptr_eq(&registry.get(2), &two));
+        let hits = AtomicU64::new(0);
+        registry.get(5).scope(|scope| {
+            for _ in 0..16 {
+                scope.spawn(|| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
     }
 
     #[test]
