@@ -1,0 +1,233 @@
+//! Repo-local source lint for the concurrency and allocation disciplines
+//! that `nc-check` verifies dynamically.
+//!
+//! Three rules, each tied to an invariant the model checker or the buffer
+//! pool owns:
+//!
+//! * **thread-spawn** — raw `std::thread::spawn` outside `crates/pool`
+//!   (and `crates/check`, which implements the shim). Product threading
+//!   must go through `nc_pool::Pool` or `nc_check::thread`, or every
+//!   schedule the model checker explores is missing those threads.
+//! * **vec-capacity** — bare `Vec::with_capacity` in the net/coding hot
+//!   paths (`crates/net/src`, `crates/core/src`). Per-frame buffers must
+//!   come from `BytesPool`/`BlockArena` so the recycling edges added for
+//!   the transport keep steady-state traffic allocation-free.
+//! * **relaxed-invariant** — `Ordering::Relaxed` on an atomic named in a
+//!   checked invariant (`pending`, `outstanding`, `retained`, `cursor`,
+//!   `frames_sent`, `peer_received`). The nc-check models verify these
+//!   protocols under SC exploration; a Relaxed hole in the real code is
+//!   exactly the kind of divergence the models cannot see.
+//!
+//! A finding is waived by a comment on the same line or the line above:
+//!
+//! ```text
+//! // lint: allow(<rule>) — <reason>
+//! ```
+//!
+//! The reason is mandatory by convention (reviewed, not parsed). Exits
+//! non-zero on any unwaived finding; CI runs `cargo run -p nc-bench --bin
+//! lint` after the test jobs.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One lint rule: a name (used in waivers), a needle, and a scope filter.
+struct Rule {
+    name: &'static str,
+    explain: &'static str,
+    applies: fn(&str) -> bool,
+    matches: fn(&str) -> bool,
+}
+
+/// Atomic field names that appear in nc-check model invariants; `Relaxed`
+/// on any of them weakens a protocol the checker verifies under SC.
+const INVARIANT_ATOMICS: [&str; 6] =
+    ["pending", "outstanding", "retained", "cursor", "frames_sent", "peer_received"];
+
+const RULES: [Rule; 3] = [
+    Rule {
+        name: "thread-spawn",
+        explain: "raw std::thread::spawn outside crates/pool — use nc_pool::Pool or \
+                  nc_check::thread so the model checker sees the thread",
+        applies: |path| !path.starts_with("crates/pool/") && !path.starts_with("crates/check/"),
+        matches: |code| code.contains("std::thread::spawn"),
+    },
+    Rule {
+        name: "vec-capacity",
+        explain: "bare Vec::with_capacity in a net/coding hot path — take the buffer from \
+                  BytesPool/BlockArena so transport recycling keeps it allocation-free",
+        applies: |path| path.starts_with("crates/net/src/") || path.starts_with("crates/core/src/"),
+        matches: |code| code.contains("Vec::with_capacity"),
+    },
+    Rule {
+        name: "relaxed-invariant",
+        explain: "Ordering::Relaxed on an atomic named in a checked invariant — use \
+                  Acquire/Release/AcqRel (free on x86) or waive with the safety argument",
+        applies: |_| true,
+        matches: |code| {
+            code.contains("Ordering::Relaxed")
+                && INVARIANT_ATOMICS.iter().any(|name| {
+                    // `<name>.load(..)`, `<name>.fetch_add(..)`, ...: the
+                    // atomic is the receiver of the relaxed operation.
+                    code.match_indices(name).any(|(i, _)| {
+                        code[i + name.len()..].starts_with('.')
+                            && !code[..i].ends_with(|c: char| c.is_alphanumeric() || c == '_')
+                    })
+                })
+        },
+    },
+];
+
+/// The code part of a source line: everything before a `//` comment. Not a
+/// real tokenizer — `//` inside a string literal will truncate early — but
+/// every pattern the rules look for is code-shaped, so false negatives
+/// from that are not a concern in this codebase.
+fn code_part(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn is_waiver_for(line: &str, rule: &str) -> bool {
+    line.contains("lint: allow(") && line.contains(&format!("allow({rule})"))
+}
+
+fn lint_file(root: &Path, rel: &str, findings: &mut Vec<String>) {
+    let text = match std::fs::read_to_string(root.join(rel)) {
+        Ok(t) => t,
+        Err(e) => {
+            findings.push(format!("{rel}: unreadable: {e}"));
+            return;
+        }
+    };
+    let lines: Vec<&str> = text.lines().collect();
+    for rule in &RULES {
+        if !(rule.applies)(rel) {
+            continue;
+        }
+        for (idx, line) in lines.iter().enumerate() {
+            let code = code_part(line);
+            if !(rule.matches)(code) {
+                continue;
+            }
+            let waived = is_waiver_for(line, rule.name)
+                || idx.checked_sub(1).is_some_and(|p| is_waiver_for(lines[p], rule.name));
+            if !waived {
+                findings.push(format!(
+                    "{rel}:{}: [{}] {}\n    {}",
+                    idx + 1,
+                    rule.name,
+                    rule.explain,
+                    line.trim()
+                ));
+            }
+        }
+    }
+}
+
+/// Every tracked `.rs` file under `crates/` (vendor and target stay out of
+/// scope: we lint this repo's code, not its vendored dependencies).
+fn source_files(root: &Path) -> Vec<String> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.join("crates")];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else { continue };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let rel = path.strip_prefix(root).unwrap_or(&path);
+                files.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// Locates the workspace root: the lint runs from anywhere inside it.
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        if dir.join("Cargo.toml").exists() && dir.join("crates").is_dir() {
+            return dir;
+        }
+        if !dir.pop() {
+            panic!("not inside the workspace (no Cargo.toml + crates/ found upward)");
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let root = workspace_root();
+    let files = source_files(&root);
+    let mut findings = Vec::new();
+    for rel in &files {
+        // The lint's own source spells out the forbidden patterns.
+        if rel.ends_with("bin/lint.rs") {
+            continue;
+        }
+        lint_file(&root, rel, &mut findings);
+    }
+    if findings.is_empty() {
+        println!("lint: {} files clean", files.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("lint: {} finding(s) in {} files:\n", findings.len(), files.len());
+        for f in &findings {
+            eprintln!("{f}\n");
+        }
+        eprintln!("waive a justified site with: // lint: allow(<rule>) — <reason>");
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comment_lines_do_not_match() {
+        let m = RULES[0].matches;
+        assert!(!m(code_part("//! let receiver = std::thread::spawn(move || {")));
+        assert!(m(code_part("let h = std::thread::spawn(f); // driver")));
+    }
+
+    #[test]
+    fn relaxed_rule_needs_an_invariant_receiver() {
+        let m = RULES[2].matches;
+        assert!(m("self.pending.load(Ordering::Relaxed)"));
+        assert!(m("state.outstanding.fetch_add(1, Ordering::Relaxed);"));
+        assert!(!m("total.fetch_add(1, Ordering::Relaxed);"));
+        // Suffix of another identifier is not the invariant atomic.
+        assert!(!m("suspending.load(Ordering::Relaxed)"));
+        assert!(!m("self.pending.load(Ordering::Acquire)"));
+    }
+
+    #[test]
+    fn waivers_match_exact_rule() {
+        assert!(is_waiver_for("// lint: allow(thread-spawn) — test driver", "thread-spawn"));
+        assert!(!is_waiver_for("// lint: allow(thread-spawn) — test driver", "vec-capacity"));
+        assert!(!is_waiver_for("plain comment", "thread-spawn"));
+    }
+
+    #[test]
+    fn the_repo_is_clean() {
+        // The lint's own acceptance test: running it over the live tree
+        // must produce zero unwaived findings.
+        let root = workspace_root();
+        let mut findings = Vec::new();
+        for rel in source_files(&root) {
+            if rel.ends_with("bin/lint.rs") {
+                continue;
+            }
+            lint_file(&root, &rel, &mut findings);
+        }
+        assert!(findings.is_empty(), "unwaived lint findings:\n{}", findings.join("\n"));
+    }
+}

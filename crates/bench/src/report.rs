@@ -800,6 +800,7 @@ pub fn transfer() -> String {
         let profile = FaultProfile::lossy(loss).with_reorder(0.05, 8);
         let mut tx = FaultyChannel::new(UdpChannel::from_socket(tx_socket), profile, 40 + i as u64);
 
+        // lint: allow(thread-spawn) — bench measurement driver thread, not a product hot path.
         let receiver = std::thread::spawn(move || {
             let mut rx = UdpChannel::from_socket(rx_socket);
             let config = ReceiverConfig {

@@ -1,0 +1,87 @@
+//! Checked models of `nc-pool`'s `BytesPool` bucket shelves.
+//!
+//! The shelf protocol splits its invariant across a per-bucket mutex and
+//! a pool-wide `retained` counter that is deliberately updated *outside*
+//! the bucket locks (claim a retention slot before pushing, release it
+//! after popping). These models explore that window: no schedule may hand
+//! the same shelved allocation to two takers, lose a shelved buffer, or
+//! let `retained` drift from the true shelf population at quiescence.
+
+#![cfg(nc_check)]
+
+use nc_check::sync::atomic::{AtomicUsize, Ordering};
+use nc_check::sync::Arc;
+use nc_check::thread;
+use nc_check::Check;
+use nc_pool::BytesPool;
+
+/// One shelved allocation, two concurrent takers: at most one may get it.
+///
+/// A recycled buffer is distinguishable by capacity (64 vs. the fresh
+/// allocation's exact 16), so a double-hand — both takers observing the
+/// recycled capacity — is directly assertable, and the shelf must be
+/// empty (retained == 0) once any taker has claimed it.
+#[test]
+fn one_shelved_buffer_is_handed_to_at_most_one_taker() {
+    Check::new().preemptions(2).run(|| {
+        let pool = BytesPool::new(4);
+        pool.recycle(Vec::with_capacity(64));
+
+        let hits = Arc::new(AtomicUsize::new(0));
+        let pool2 = pool.clone();
+        let hits2 = Arc::clone(&hits);
+        let taker = thread::spawn(move || {
+            if pool2.take_vec(16).capacity() >= 64 {
+                hits2.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        if pool.take_vec(16).capacity() >= 64 {
+            hits.fetch_add(1, Ordering::Relaxed);
+        }
+        taker.join().unwrap();
+
+        let hits = hits.load(Ordering::Relaxed);
+        assert!(hits <= 1, "double-hand: {hits} takers got the one shelved buffer");
+        assert_eq!(
+            pool.retained(),
+            1 - hits,
+            "retained count must match the shelf population at quiescence"
+        );
+    });
+}
+
+/// Concurrent recycles against a shelf with one free slot: the retention
+/// bound must hold (only one buffer shelved) without losing count —
+/// `retained` equals the number of buffers actually kept, never exceeds
+/// the cap, and never underflows when a subsequent take drains the shelf.
+#[test]
+fn retention_cap_holds_under_concurrent_recycles() {
+    Check::new().preemptions(2).run(|| {
+        let pool = BytesPool::new(1);
+        let pool2 = pool.clone();
+        let recycler = thread::spawn(move || pool2.recycle(Vec::with_capacity(32)));
+        pool.recycle(Vec::with_capacity(32));
+        recycler.join().unwrap();
+
+        assert_eq!(pool.retained(), 1, "cap of 1 admits exactly one of two recycles");
+        assert!(pool.take_vec(8).capacity() >= 32, "the admitted buffer is takeable");
+        assert_eq!(pool.retained(), 0, "draining the shelf returns the count to zero");
+    });
+}
+
+/// Take racing recycle: the taker either reuses the in-flight allocation
+/// or misses and allocates fresh — both legal — but the counter and the
+/// shelf must agree afterwards in every schedule.
+#[test]
+fn take_racing_recycle_keeps_count_and_shelf_consistent() {
+    Check::new().preemptions(2).run(|| {
+        let pool = BytesPool::new(4);
+        let pool2 = pool.clone();
+        let recycler = thread::spawn(move || pool2.recycle(Vec::with_capacity(64)));
+        let got_recycled = pool.take_vec(16).capacity() >= 64;
+        recycler.join().unwrap();
+
+        let expected = if got_recycled { 0 } else { 1 };
+        assert_eq!(pool.retained(), expected, "count must match what is actually shelved");
+    });
+}

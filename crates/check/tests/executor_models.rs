@@ -1,0 +1,109 @@
+//! Checked models of the `nc-pool` executor: bounded exploration of the
+//! real `Pool` (not a re-implementation) over its shimmed primitives.
+//!
+//! Every model constructs a **local** `Pool::new(..)` and drops it before
+//! the model returns. `Pool::global()` / `Pool::shared(..)` must never
+//! appear in a model: their workers are process-wide and never join, which
+//! the checker would (correctly) report as leaked threads.
+//!
+//! These tests share process-wide statics with each other (pool ids,
+//! telemetry registries), so CI runs this binary with `--test-threads=1`
+//! to keep exploration deterministic.
+
+#![cfg(nc_check)]
+
+use nc_check::sync::atomic::{AtomicUsize, Ordering};
+use nc_check::sync::Arc;
+use nc_check::Check;
+use nc_pool::Pool;
+
+/// Wait-site case: `worker_main`'s park loop (predicate: `pending == 0 &&
+/// !shutdown`, re-checked under the sleep mutex) plus `Pool::scope`'s
+/// waiter (predicate: `outstanding != 0 && pending == 0`). A single
+/// spawned task exercises the full protocol: push counts `pending`
+/// *before* enqueueing, `notify` brackets the sleep mutex, and the last
+/// task's completion wakes the scope caller. If any interleaving lost the
+/// wakeup, the parked thread would hang and the checker — which models
+/// `wait_timeout` as an untimed wait precisely so backstop timeouts can't
+/// mask the bug — reports a deadlock.
+#[test]
+fn scope_single_task_completes_under_exploration() {
+    let report = Check::new().preemptions(2).run(|| {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let pool = Pool::new(1);
+        pool.scope(|scope| {
+            let ran = Arc::clone(&ran);
+            scope.spawn(move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1, "task must run exactly once");
+        drop(pool);
+    });
+    assert!(report.executions > 1, "exploration must branch, not run one schedule");
+}
+
+/// Two tasks from one scope: the scope caller and the lone worker race to
+/// claim them (the caller helps while waiting). Exercises `find_task`'s
+/// injector pop against concurrent claims and the `outstanding`
+/// last-task-wakes-caller edge when the *helper* finishes the final task.
+#[test]
+fn scope_two_tasks_all_claimed_exactly_once() {
+    Check::new().preemptions(2).run(|| {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let pool = Pool::new(1);
+        pool.scope(|scope| {
+            for _ in 0..2 {
+                let ran = Arc::clone(&ran);
+                scope.spawn(move || {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 2, "each task runs exactly once");
+        drop(pool);
+    });
+}
+
+/// Caller-helping termination: an outer task opens a *nested* scope on
+/// the same single-worker pool. The worker is blocked inside the inner
+/// `scope` call while the inner task sits queued — only the helping wait
+/// loop (worker executes queued tasks while waiting for its own scope)
+/// lets this terminate. A waiter that parked without helping would
+/// deadlock here, and the checker would report the schedule.
+#[test]
+fn nested_scopes_terminate_via_caller_helping() {
+    Check::new().preemptions(1).run(|| {
+        let depth = Arc::new(AtomicUsize::new(0));
+        let pool = Arc::new(Pool::new(1));
+        {
+            let pool2 = Arc::clone(&pool);
+            let depth2 = Arc::clone(&depth);
+            pool.scope(|scope| {
+                scope.spawn(move || {
+                    pool2.scope(|inner| {
+                        let depth3 = Arc::clone(&depth2);
+                        inner.spawn(move || {
+                            depth3.fetch_add(1, Ordering::Relaxed);
+                        });
+                    });
+                });
+            });
+        }
+        assert_eq!(depth.load(Ordering::Relaxed), 1);
+        drop(pool);
+    });
+}
+
+/// Shutdown handshake: dropping the pool (shutdown store + broadcast
+/// notify + join) must terminate a worker in *every* schedule, including
+/// ones where the worker is mid-`find_task` or already parked when the
+/// flag is set. A lost shutdown wakeup would leak the worker thread,
+/// which the checker reports at model exit.
+#[test]
+fn pool_drop_joins_workers_in_all_schedules() {
+    Check::new().preemptions(2).run(|| {
+        let pool = Pool::new(1);
+        drop(pool);
+    });
+}

@@ -1,0 +1,43 @@
+//! Checked model of `nc-rlnc`'s `StreamEncoder` round-robin cursor.
+//!
+//! `next_frame` claims a segment index with one atomic `fetch_add` on a
+//! shared cursor; the round-robin property the transport relies on is
+//! that concurrent callers collectively cover every segment before any
+//! repeats — a torn or read-modify-write-split cursor would skew frame
+//! production toward some segments and starve others.
+
+#![cfg(nc_check)]
+
+use nc_check::thread;
+use nc_check::Check;
+use nc_rlnc::stream::StreamEncoder;
+use nc_rlnc::CodingConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Two threads each draw one frame from a two-segment stream: in every
+/// schedule they must claim distinct segments (one round of the
+/// round-robin covers the stream exactly once).
+#[test]
+fn concurrent_next_frame_claims_distinct_segments() {
+    Check::new().preemptions(2).run(|| {
+        let config = CodingConfig::new(2, 4).unwrap();
+        // 2 segments of 2 blocks x 4 bytes.
+        let data = [0x5Au8; 16];
+        let encoder = std::sync::Arc::new(StreamEncoder::new(config, &data).unwrap());
+        assert_eq!(encoder.total_segments(), 2);
+
+        let enc2 = std::sync::Arc::clone(&encoder);
+        let other = thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(1);
+            enc2.next_frame(&mut rng).segment
+        });
+        let mut rng = StdRng::seed_from_u64(2);
+        let mine = encoder.next_frame(&mut rng).segment;
+        let theirs = other.join().unwrap();
+
+        assert_ne!(mine, theirs, "one cursor round must cover both segments");
+        assert_eq!(u32::min(mine, theirs), 0);
+        assert_eq!(u32::max(mine, theirs), 1);
+    });
+}

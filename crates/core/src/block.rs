@@ -67,10 +67,18 @@ impl CodedBlock {
         Ok(())
     }
 
+    /// Serialized length on the wire (`n` coefficients + `k` payload).
+    #[inline]
+    pub fn wire_len(&self) -> usize {
+        self.coefficients.len() + self.payload.len()
+    }
+
     /// Serializes to the wire format: `n` coefficient bytes followed by the
-    /// payload.
+    /// payload. The buffer comes from the process-wide [`nc_pool::BytesPool`],
+    /// so transport drivers that recycle sent datagrams keep this hot path
+    /// allocation-free.
     pub fn to_wire(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.coefficients.len() + self.payload.len());
+        let mut out = nc_pool::BytesPool::global().take_capacity(self.wire_len());
         out.extend_from_slice(&self.coefficients);
         out.extend_from_slice(&self.payload);
         out

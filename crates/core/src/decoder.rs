@@ -49,7 +49,9 @@ impl Decoder {
     pub fn new(config: CodingConfig) -> Decoder {
         Decoder {
             config,
+            // lint: allow(vec-capacity) — per-decoder row/pivot tables, built once per generation.
             rows: Vec::with_capacity(config.blocks()),
+            // lint: allow(vec-capacity) — see above.
             pivots: Vec::with_capacity(config.blocks()),
             stats: DecodeStats::default(),
             backend: Backend::default(),
@@ -109,6 +111,7 @@ impl Decoder {
         let width = n + self.config.block_size();
 
         let (coeffs, payload) = block.into_parts();
+        // lint: allow(vec-capacity) — becomes a long-lived RREF row owned until decode completes.
         let mut row = Vec::with_capacity(width);
         row.extend_from_slice(&coeffs);
         row.extend_from_slice(&payload);
@@ -170,6 +173,7 @@ impl Decoder {
             return None;
         }
         let n = self.config.blocks();
+        // lint: allow(vec-capacity) — recovery output that escapes to the caller; no recycle edge.
         let mut out = Vec::with_capacity(self.config.segment_bytes());
         for row in &self.rows {
             out.extend_from_slice(&row[n..]);

@@ -51,6 +51,7 @@ impl GfMatrix {
         if cols == 0 || rows.iter().any(|r| r.len() != cols) {
             return Err(Error::DimensionMismatch { op: "from_rows (ragged)" });
         }
+        // lint: allow(vec-capacity) — dense matrix assembly for rank analysis, not a coding hot path.
         let mut data = Vec::with_capacity(rows.len() * cols);
         for r in rows {
             data.extend_from_slice(r);

@@ -106,6 +106,7 @@ impl Segment {
                 actual: data.len(),
             });
         }
+        // lint: allow(vec-capacity) — once-per-stream segmentation setup, not a per-frame path.
         let mut padded = Vec::with_capacity(config.segment_bytes());
         padded.extend_from_slice(data);
         padded.resize(config.segment_bytes(), 0);
@@ -163,6 +164,7 @@ pub fn segment_stream(config: CodingConfig, data: &[u8]) -> Vec<Segment> {
 /// Reassembles the output of [`segment_stream`], truncating to
 /// `original_len` to strip the final segment's padding.
 pub fn reassemble_stream(segments: &[Segment], original_len: usize) -> Vec<u8> {
+    // lint: allow(vec-capacity) — recovery output that escapes to the caller; no recycle edge.
     let mut out = Vec::with_capacity(original_len);
     for seg in segments {
         out.extend_from_slice(seg.data());

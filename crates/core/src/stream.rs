@@ -11,7 +11,9 @@ use crate::encoder::Encoder;
 use crate::error::Error;
 use crate::segment::{segment_stream, CodingConfig};
 use rand::Rng;
-use std::sync::atomic::{AtomicUsize, Ordering};
+// The round-robin cursor goes through nc-check's shim so the checker can
+// explore concurrent `next_frame` callers (std re-export in normal builds).
+use nc_check::sync::atomic::{AtomicUsize, Ordering};
 
 /// One wire frame: `(segment index, coded block)`.
 ///
@@ -28,12 +30,15 @@ pub struct StreamFrame {
 }
 
 impl StreamFrame {
-    /// Serializes the frame.
+    /// Serializes the frame. The buffer comes from the process-wide
+    /// [`nc_pool::BytesPool`] so recycling transport drivers keep frame
+    /// serialization allocation-free.
     pub fn to_wire(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(8 + self.block.to_wire().len());
+        let mut out = nc_pool::BytesPool::global().take_capacity(8 + self.block.wire_len());
         out.extend_from_slice(&self.segment.to_le_bytes());
         out.extend_from_slice(&self.total_segments.to_le_bytes());
-        out.extend_from_slice(&self.block.to_wire());
+        out.extend_from_slice(self.block.coefficients());
+        out.extend_from_slice(self.block.payload());
         out
     }
 
@@ -92,7 +97,7 @@ impl Clone for StreamEncoder {
             config: self.config,
             encoders: self.encoders.clone(),
             original_len: self.original_len,
-            cursor: AtomicUsize::new(self.cursor.load(Ordering::Relaxed)),
+            cursor: AtomicUsize::new(self.cursor.load(Ordering::Acquire)),
         }
     }
 }
@@ -149,7 +154,7 @@ impl StreamEncoder {
     /// The next frame, cycling through segments round-robin (a simple
     /// sender schedule; smarter senders use [`StreamEncoder::frame_for`]).
     pub fn next_frame(&self, rng: &mut impl Rng) -> StreamFrame {
-        let segment = self.cursor.fetch_add(1, Ordering::Relaxed) % self.total_segments();
+        let segment = self.cursor.fetch_add(1, Ordering::AcqRel) % self.total_segments();
         self.frame_for(segment, rng)
     }
 
@@ -166,7 +171,7 @@ impl StreamEncoder {
         let total = self.total_segments();
         let draws: Vec<(usize, Vec<u8>)> = (0..count)
             .map(|_| {
-                let segment = self.cursor.fetch_add(1, Ordering::Relaxed) % total;
+                let segment = self.cursor.fetch_add(1, Ordering::AcqRel) % total;
                 (segment, self.encoders[segment].draw_coefficients(rng))
             })
             .collect();
@@ -247,6 +252,7 @@ impl StreamDecoder {
         if !self.is_complete() {
             return None;
         }
+        // lint: allow(vec-capacity) — recovery output that escapes to the caller; no recycle edge.
         let mut out = Vec::with_capacity(self.original_len);
         for d in &self.decoders {
             out.extend_from_slice(&d.recover().expect("complete"));

@@ -61,6 +61,7 @@ impl TwoStageDecoder {
     pub fn new(config: CodingConfig) -> TwoStageDecoder {
         TwoStageDecoder {
             config,
+            // lint: allow(vec-capacity) — per-segment container of blocks, built once per segment.
             blocks: Vec::with_capacity(config.blocks()),
             rank_probe: GfMatrix::zeros(config.blocks(), config.blocks()),
             rank: 0,

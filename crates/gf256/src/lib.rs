@@ -36,8 +36,12 @@
 //! ```
 
 // `unsafe` is denied crate-wide; the one exception is `simd`, whose vendor
-// intrinsics are each justified with a SAFETY comment.
+// intrinsics are each justified with a SAFETY comment. Inside `unsafe fn`s
+// every unsafe operation still needs its own explicit `unsafe {}` block, so
+// each raw-pointer access carries its justification at the use site rather
+// than inheriting a function-wide blanket.
 #![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod logdomain;

@@ -432,40 +432,47 @@ mod x86 {
     #[target_feature(enable = "ssse3")]
     unsafe fn body_ssse3(dst: &mut [u8], src: &[u8], c: u8, overwrite: bool) -> usize {
         let (lo, hi) = nibble_tables(c);
-        // SAFETY (whole function): loads/stores below stay in bounds because
-        // `i + 16 <= len` is checked before each iteration, and unaligned
-        // intrinsics (`loadu`/`storeu`) are used throughout.
-        let lo_t = _mm_loadu_si128(lo.as_ptr().cast());
-        let hi_t = _mm_loadu_si128(hi.as_ptr().cast());
-        let mask = _mm_set1_epi8(0x0F);
         let len = dst.len();
-        let mut i = 0;
-        while i + 16 <= len {
-            let s = _mm_loadu_si128(src.as_ptr().add(i).cast());
-            let lo_idx = _mm_and_si128(s, mask);
-            let hi_idx = _mm_and_si128(_mm_srli_epi64::<4>(s), mask);
-            let prod =
-                _mm_xor_si128(_mm_shuffle_epi8(lo_t, lo_idx), _mm_shuffle_epi8(hi_t, hi_idx));
-            let out = if overwrite {
-                prod
-            } else {
-                _mm_xor_si128(_mm_loadu_si128(dst.as_ptr().add(i).cast()), prod)
-            };
-            _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), out);
-            i += 16;
+        // SAFETY: table loads read 16 bytes from 16-byte arrays; every
+        // region load/store is bounded by `i + 16 <= len` (the caller
+        // guarantees `src.len() == dst.len()`), and the unaligned
+        // `loadu`/`storeu` forms are used throughout.
+        unsafe {
+            let lo_t = _mm_loadu_si128(lo.as_ptr().cast());
+            let hi_t = _mm_loadu_si128(hi.as_ptr().cast());
+            let mask = _mm_set1_epi8(0x0F);
+            let mut i = 0;
+            while i + 16 <= len {
+                let s = _mm_loadu_si128(src.as_ptr().add(i).cast());
+                let lo_idx = _mm_and_si128(s, mask);
+                let hi_idx = _mm_and_si128(_mm_srli_epi64::<4>(s), mask);
+                let prod =
+                    _mm_xor_si128(_mm_shuffle_epi8(lo_t, lo_idx), _mm_shuffle_epi8(hi_t, hi_idx));
+                let out = if overwrite {
+                    prod
+                } else {
+                    _mm_xor_si128(_mm_loadu_si128(dst.as_ptr().add(i).cast()), prod)
+                };
+                _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), out);
+                i += 16;
+            }
+            i
         }
-        i
     }
 
     /// # Safety: host must support SSSE3; slices must be equal length.
     pub(super) unsafe fn mul_add_ssse3(dst: &mut [u8], src: &[u8], c: u8) {
-        let done = body_ssse3(dst, src, c, false);
+        // SAFETY: the caller's contract (SSSE3 present, equal lengths) is
+        // exactly `body_ssse3`'s.
+        let done = unsafe { body_ssse3(dst, src, c, false) };
         portable_mul_add(&mut dst[done..], &src[done..], c);
     }
 
     /// # Safety: host must support SSSE3; slices must be equal length.
     pub(super) unsafe fn mul_into_ssse3(dst: &mut [u8], src: &[u8], c: u8) {
-        let done = body_ssse3(dst, src, c, true);
+        // SAFETY: the caller's contract (SSSE3 present, equal lengths) is
+        // exactly `body_ssse3`'s.
+        let done = unsafe { body_ssse3(dst, src, c, true) };
         let row = &MUL[c as usize];
         for (d, s) in dst[done..].iter_mut().zip(&src[done..]) {
             *d = row[*s as usize];
@@ -483,29 +490,33 @@ mod x86 {
     #[target_feature(enable = "ssse3")]
     unsafe fn body_inplace_ssse3(dst: &mut [u8], c: u8) -> usize {
         let (lo, hi) = nibble_tables(c);
-        // SAFETY (whole function): every access reads and writes through
-        // `dst`'s own pointer, bounded by `i + 16 <= len`, with unaligned
-        // loadu/storeu forms throughout.
-        let lo_t = _mm_loadu_si128(lo.as_ptr().cast());
-        let hi_t = _mm_loadu_si128(hi.as_ptr().cast());
-        let mask = _mm_set1_epi8(0x0F);
         let len = dst.len();
-        let mut i = 0;
-        while i + 16 <= len {
-            let s = _mm_loadu_si128(dst.as_ptr().add(i).cast());
-            let lo_idx = _mm_and_si128(s, mask);
-            let hi_idx = _mm_and_si128(_mm_srli_epi64::<4>(s), mask);
-            let prod =
-                _mm_xor_si128(_mm_shuffle_epi8(lo_t, lo_idx), _mm_shuffle_epi8(hi_t, hi_idx));
-            _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), prod);
-            i += 16;
+        // SAFETY: every access reads and writes through `dst`'s own
+        // pointer, bounded by `i + 16 <= len`, with unaligned
+        // loadu/storeu forms throughout.
+        unsafe {
+            let lo_t = _mm_loadu_si128(lo.as_ptr().cast());
+            let hi_t = _mm_loadu_si128(hi.as_ptr().cast());
+            let mask = _mm_set1_epi8(0x0F);
+            let mut i = 0;
+            while i + 16 <= len {
+                let s = _mm_loadu_si128(dst.as_ptr().add(i).cast());
+                let lo_idx = _mm_and_si128(s, mask);
+                let hi_idx = _mm_and_si128(_mm_srli_epi64::<4>(s), mask);
+                let prod =
+                    _mm_xor_si128(_mm_shuffle_epi8(lo_t, lo_idx), _mm_shuffle_epi8(hi_t, hi_idx));
+                _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), prod);
+                i += 16;
+            }
+            i
         }
-        i
     }
 
     /// # Safety: host must support SSSE3.
     pub(super) unsafe fn mul_assign_ssse3(dst: &mut [u8], c: u8) {
-        let done = body_inplace_ssse3(dst, c);
+        // SAFETY: the caller's SSSE3 guarantee is `body_inplace_ssse3`'s
+        // whole contract.
+        let done = unsafe { body_inplace_ssse3(dst, c) };
         let row = &MUL[c as usize];
         for d in dst[done..].iter_mut() {
             *d = row[*d as usize];
@@ -516,41 +527,49 @@ mod x86 {
     #[target_feature(enable = "avx2")]
     unsafe fn body_avx2(dst: &mut [u8], src: &[u8], c: u8, overwrite: bool) -> usize {
         let (lo, hi) = nibble_tables(c);
-        // SAFETY (whole function): `i + 32 <= len` bounds every access and
-        // the unaligned loadu/storeu forms are used throughout.
-        let lo_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(lo.as_ptr().cast()));
-        let hi_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(hi.as_ptr().cast()));
-        let mask = _mm256_set1_epi8(0x0F);
         let len = dst.len();
-        let mut i = 0;
-        while i + 32 <= len {
-            let s = _mm256_loadu_si256(src.as_ptr().add(i).cast());
-            let lo_idx = _mm256_and_si256(s, mask);
-            let hi_idx = _mm256_and_si256(_mm256_srli_epi64::<4>(s), mask);
-            let prod = _mm256_xor_si256(
-                _mm256_shuffle_epi8(lo_t, lo_idx),
-                _mm256_shuffle_epi8(hi_t, hi_idx),
-            );
-            let out = if overwrite {
-                prod
-            } else {
-                _mm256_xor_si256(_mm256_loadu_si256(dst.as_ptr().add(i).cast()), prod)
-            };
-            _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), out);
-            i += 32;
+        // SAFETY: table loads read 16 bytes from 16-byte arrays;
+        // `i + 32 <= len` bounds every region access (the caller
+        // guarantees `src.len() == dst.len()`), and the unaligned
+        // loadu/storeu forms are used throughout.
+        unsafe {
+            let lo_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(lo.as_ptr().cast()));
+            let hi_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(hi.as_ptr().cast()));
+            let mask = _mm256_set1_epi8(0x0F);
+            let mut i = 0;
+            while i + 32 <= len {
+                let s = _mm256_loadu_si256(src.as_ptr().add(i).cast());
+                let lo_idx = _mm256_and_si256(s, mask);
+                let hi_idx = _mm256_and_si256(_mm256_srli_epi64::<4>(s), mask);
+                let prod = _mm256_xor_si256(
+                    _mm256_shuffle_epi8(lo_t, lo_idx),
+                    _mm256_shuffle_epi8(hi_t, hi_idx),
+                );
+                let out = if overwrite {
+                    prod
+                } else {
+                    _mm256_xor_si256(_mm256_loadu_si256(dst.as_ptr().add(i).cast()), prod)
+                };
+                _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), out);
+                i += 32;
+            }
+            i
         }
-        i
     }
 
     /// # Safety: host must support AVX2; slices must be equal length.
     pub(super) unsafe fn mul_add_avx2(dst: &mut [u8], src: &[u8], c: u8) {
-        let done = body_avx2(dst, src, c, false);
+        // SAFETY: the caller's contract (AVX2 present, equal lengths) is
+        // exactly `body_avx2`'s.
+        let done = unsafe { body_avx2(dst, src, c, false) };
         portable_mul_add(&mut dst[done..], &src[done..], c);
     }
 
     /// # Safety: host must support AVX2; slices must be equal length.
     pub(super) unsafe fn mul_into_avx2(dst: &mut [u8], src: &[u8], c: u8) {
-        let done = body_avx2(dst, src, c, true);
+        // SAFETY: the caller's contract (AVX2 present, equal lengths) is
+        // exactly `body_avx2`'s.
+        let done = unsafe { body_avx2(dst, src, c, true) };
         let row = &MUL[c as usize];
         for (d, s) in dst[done..].iter_mut().zip(&src[done..]) {
             *d = row[*s as usize];
@@ -567,31 +586,35 @@ mod x86 {
     #[target_feature(enable = "avx2")]
     unsafe fn body_inplace_avx2(dst: &mut [u8], c: u8) -> usize {
         let (lo, hi) = nibble_tables(c);
-        // SAFETY (whole function): every access reads and writes through
-        // `dst`'s own pointer, bounded by `i + 32 <= len`, with unaligned
-        // loadu/storeu forms throughout.
-        let lo_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(lo.as_ptr().cast()));
-        let hi_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(hi.as_ptr().cast()));
-        let mask = _mm256_set1_epi8(0x0F);
         let len = dst.len();
-        let mut i = 0;
-        while i + 32 <= len {
-            let s = _mm256_loadu_si256(dst.as_ptr().add(i).cast());
-            let lo_idx = _mm256_and_si256(s, mask);
-            let hi_idx = _mm256_and_si256(_mm256_srli_epi64::<4>(s), mask);
-            let prod = _mm256_xor_si256(
-                _mm256_shuffle_epi8(lo_t, lo_idx),
-                _mm256_shuffle_epi8(hi_t, hi_idx),
-            );
-            _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), prod);
-            i += 32;
+        // SAFETY: every access reads and writes through `dst`'s own
+        // pointer, bounded by `i + 32 <= len`, with unaligned
+        // loadu/storeu forms throughout.
+        unsafe {
+            let lo_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(lo.as_ptr().cast()));
+            let hi_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(hi.as_ptr().cast()));
+            let mask = _mm256_set1_epi8(0x0F);
+            let mut i = 0;
+            while i + 32 <= len {
+                let s = _mm256_loadu_si256(dst.as_ptr().add(i).cast());
+                let lo_idx = _mm256_and_si256(s, mask);
+                let hi_idx = _mm256_and_si256(_mm256_srli_epi64::<4>(s), mask);
+                let prod = _mm256_xor_si256(
+                    _mm256_shuffle_epi8(lo_t, lo_idx),
+                    _mm256_shuffle_epi8(hi_t, hi_idx),
+                );
+                _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), prod);
+                i += 32;
+            }
+            i
         }
-        i
     }
 
     /// # Safety: host must support AVX2.
     pub(super) unsafe fn mul_assign_avx2(dst: &mut [u8], c: u8) {
-        let done = body_inplace_avx2(dst, c);
+        // SAFETY: the caller's AVX2 guarantee is `body_inplace_avx2`'s
+        // whole contract.
+        let done = unsafe { body_inplace_avx2(dst, c) };
         let row = &MUL[c as usize];
         for d in dst[done..].iter_mut() {
             *d = row[*d as usize];
@@ -601,14 +624,17 @@ mod x86 {
     /// # Safety: host must support AVX2; slices must be equal length.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn xor_assign_avx2(dst: &mut [u8], src: &[u8]) {
-        // SAFETY: `i + 32 <= len` bounds every unaligned access.
         let len = dst.len();
         let mut i = 0;
-        while i + 32 <= len {
-            let d = _mm256_loadu_si256(dst.as_ptr().add(i).cast());
-            let s = _mm256_loadu_si256(src.as_ptr().add(i).cast());
-            _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), _mm256_xor_si256(d, s));
-            i += 32;
+        // SAFETY: `i + 32 <= len` bounds every unaligned access, and the
+        // caller guarantees `src.len() == dst.len()`.
+        unsafe {
+            while i + 32 <= len {
+                let d = _mm256_loadu_si256(dst.as_ptr().add(i).cast());
+                let s = _mm256_loadu_si256(src.as_ptr().add(i).cast());
+                _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), _mm256_xor_si256(d, s));
+                i += 32;
+            }
         }
         portable_xor(&mut dst[i..], &src[i..]);
     }
@@ -620,34 +646,37 @@ mod x86 {
     /// # Safety: host must support AVX2; all slices must be equal length.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn dot4_avx2(dst: &mut [u8], srcs: &[&[u8]; 4], cs: [u8; 4]) {
-        // SAFETY (whole function): every pointer access is bounded by
-        // `i + 32 <= len` (sources are asserted equal-length by the caller).
-        let mut lo_t = [_mm256_setzero_si256(); 4];
-        let mut hi_t = [_mm256_setzero_si256(); 4];
-        for j in 0..4 {
-            let (lo, hi) = nibble_tables(cs[j]);
-            lo_t[j] = _mm256_broadcastsi128_si256(_mm_loadu_si128(lo.as_ptr().cast()));
-            hi_t[j] = _mm256_broadcastsi128_si256(_mm_loadu_si128(hi.as_ptr().cast()));
-        }
-        let mask = _mm256_set1_epi8(0x0F);
         let len = dst.len();
         let mut i = 0;
-        while i + 32 <= len {
-            let mut acc = _mm256_loadu_si256(dst.as_ptr().add(i).cast());
+        // SAFETY: table loads read 16 bytes from 16-byte arrays; every
+        // region access is bounded by `i + 32 <= len`, and the caller
+        // guarantees all four sources equal `dst`'s length.
+        unsafe {
+            let mut lo_t = [_mm256_setzero_si256(); 4];
+            let mut hi_t = [_mm256_setzero_si256(); 4];
             for j in 0..4 {
-                let s = _mm256_loadu_si256(srcs[j].as_ptr().add(i).cast());
-                let lo_idx = _mm256_and_si256(s, mask);
-                let hi_idx = _mm256_and_si256(_mm256_srli_epi64::<4>(s), mask);
-                acc = _mm256_xor_si256(
-                    acc,
-                    _mm256_xor_si256(
-                        _mm256_shuffle_epi8(lo_t[j], lo_idx),
-                        _mm256_shuffle_epi8(hi_t[j], hi_idx),
-                    ),
-                );
+                let (lo, hi) = nibble_tables(cs[j]);
+                lo_t[j] = _mm256_broadcastsi128_si256(_mm_loadu_si128(lo.as_ptr().cast()));
+                hi_t[j] = _mm256_broadcastsi128_si256(_mm_loadu_si128(hi.as_ptr().cast()));
             }
-            _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), acc);
-            i += 32;
+            let mask = _mm256_set1_epi8(0x0F);
+            while i + 32 <= len {
+                let mut acc = _mm256_loadu_si256(dst.as_ptr().add(i).cast());
+                for j in 0..4 {
+                    let s = _mm256_loadu_si256(srcs[j].as_ptr().add(i).cast());
+                    let lo_idx = _mm256_and_si256(s, mask);
+                    let hi_idx = _mm256_and_si256(_mm256_srli_epi64::<4>(s), mask);
+                    acc = _mm256_xor_si256(
+                        acc,
+                        _mm256_xor_si256(
+                            _mm256_shuffle_epi8(lo_t[j], lo_idx),
+                            _mm256_shuffle_epi8(hi_t[j], hi_idx),
+                        ),
+                    );
+                }
+                _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), acc);
+                i += 32;
+            }
         }
         for j in 0..4 {
             portable_mul_add(&mut dst[i..], &srcs[j][i..], cs[j]);
@@ -657,33 +686,37 @@ mod x86 {
     /// # Safety: host must support SSSE3; all slices must be equal length.
     #[target_feature(enable = "ssse3")]
     pub(super) unsafe fn dot4_ssse3(dst: &mut [u8], srcs: &[&[u8]; 4], cs: [u8; 4]) {
-        // SAFETY (whole function): every access is bounded by `i + 16 <= len`.
-        let mut lo_t = [_mm_setzero_si128(); 4];
-        let mut hi_t = [_mm_setzero_si128(); 4];
-        for j in 0..4 {
-            let (lo, hi) = nibble_tables(cs[j]);
-            lo_t[j] = _mm_loadu_si128(lo.as_ptr().cast());
-            hi_t[j] = _mm_loadu_si128(hi.as_ptr().cast());
-        }
-        let mask = _mm_set1_epi8(0x0F);
         let len = dst.len();
         let mut i = 0;
-        while i + 16 <= len {
-            let mut acc = _mm_loadu_si128(dst.as_ptr().add(i).cast());
+        // SAFETY: table loads read 16 bytes from 16-byte arrays; every
+        // region access is bounded by `i + 16 <= len`, and the caller
+        // guarantees all four sources equal `dst`'s length.
+        unsafe {
+            let mut lo_t = [_mm_setzero_si128(); 4];
+            let mut hi_t = [_mm_setzero_si128(); 4];
             for j in 0..4 {
-                let s = _mm_loadu_si128(srcs[j].as_ptr().add(i).cast());
-                let lo_idx = _mm_and_si128(s, mask);
-                let hi_idx = _mm_and_si128(_mm_srli_epi64::<4>(s), mask);
-                acc = _mm_xor_si128(
-                    acc,
-                    _mm_xor_si128(
-                        _mm_shuffle_epi8(lo_t[j], lo_idx),
-                        _mm_shuffle_epi8(hi_t[j], hi_idx),
-                    ),
-                );
+                let (lo, hi) = nibble_tables(cs[j]);
+                lo_t[j] = _mm_loadu_si128(lo.as_ptr().cast());
+                hi_t[j] = _mm_loadu_si128(hi.as_ptr().cast());
             }
-            _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), acc);
-            i += 16;
+            let mask = _mm_set1_epi8(0x0F);
+            while i + 16 <= len {
+                let mut acc = _mm_loadu_si128(dst.as_ptr().add(i).cast());
+                for j in 0..4 {
+                    let s = _mm_loadu_si128(srcs[j].as_ptr().add(i).cast());
+                    let lo_idx = _mm_and_si128(s, mask);
+                    let hi_idx = _mm_and_si128(_mm_srli_epi64::<4>(s), mask);
+                    acc = _mm_xor_si128(
+                        acc,
+                        _mm_xor_si128(
+                            _mm_shuffle_epi8(lo_t[j], lo_idx),
+                            _mm_shuffle_epi8(hi_t[j], hi_idx),
+                        ),
+                    );
+                }
+                _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), acc);
+                i += 16;
+            }
         }
         for j in 0..4 {
             portable_mul_add(&mut dst[i..], &srcs[j][i..], cs[j]);

@@ -390,6 +390,8 @@ pub fn run_receiver<C: Channel>(
         match session.poll(now) {
             ReceiverEvent::Transmit(bytes) => {
                 channel.send(&bytes)?;
+                // Sent: the allocation feeds the next encode via the pool.
+                nc_pool::BytesPool::global().recycle(bytes);
                 // Stay live: drain anything that arrived meanwhile.
                 while let Some(incoming) = channel.recv_timeout(Duration::ZERO)? {
                     session.handle_bytes(&incoming, Instant::now());

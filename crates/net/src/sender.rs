@@ -25,6 +25,9 @@ pub fn run_sender<C: Channel>(
         match session.poll(now) {
             SenderEvent::Transmit(bytes) => {
                 channel.send(&bytes)?;
+                // The datagram is on the wire; its allocation feeds the
+                // next `to_wire` via the shared pool.
+                nc_pool::BytesPool::global().recycle(bytes);
                 // Drain feedback that arrived while we were sending so ACKs
                 // take effect before the next frame is budgeted.
                 drain(channel, session)?;

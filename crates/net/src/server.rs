@@ -183,6 +183,9 @@ impl Server {
             match session.poll(now) {
                 SenderEvent::Transmit(bytes) => {
                     self.transmit(key.0, &bytes)?;
+                    // On the wire: recycle so the session's next encode
+                    // reuses the allocation.
+                    nc_pool::BytesPool::global().recycle(bytes);
                     burst += 1;
                     if burst >= self.config.burst_per_step {
                         return Ok(()); // fairness: let other sessions run
@@ -310,6 +313,7 @@ mod tests {
         let addr = server.local_addr().unwrap();
 
         let handles: Vec<_> =
+            // lint: allow(thread-spawn) — test driver threads; product threading goes through nc-pool.
             (0..2).map(|_| std::thread::spawn(move || receive(addr, 9))).collect();
         let transfers = server.serve(2, Duration::from_secs(30)).unwrap();
 
@@ -335,6 +339,7 @@ mod tests {
         server.publish(3, encoder);
         let addr = server.local_addr().unwrap();
 
+        // lint: allow(thread-spawn) — test driver thread; product threading goes through nc-pool.
         let handle = std::thread::spawn(move || receive(addr, 3));
         let transfers = server.serve(1, Duration::from_secs(30)).unwrap();
         let (recovered, _) = handle.join().unwrap();

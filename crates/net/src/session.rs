@@ -14,11 +14,12 @@
 //! segments from consuming encode budget and (b) calibrates how much
 //! redundancy the link needs.
 
+use nc_check::sync::atomic::{AtomicU64, Ordering};
+use nc_check::sync::Arc;
 use nc_rlnc::stream::StreamEncoder;
 use nc_telemetry::{Histogram, Snapshot};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::metrics::metrics;
@@ -142,6 +143,61 @@ impl SenderReport {
     }
 }
 
+/// The two counters the flow-control window is computed from, shared out
+/// of the session so a server stats thread (or the model checker) can
+/// observe window state while the driver thread advances the session.
+///
+/// Both counters are monotone: `frames_sent` only increments, and
+/// `peer_received` max-merges cumulative ACK feedback, so reordered ACKs
+/// can never shrink it. Atomics come from nc-check's shim layer — plain
+/// `std` atomics in normal builds, model-checked under `--cfg nc_check`
+/// (the no-lost-update and monotonicity invariants have checked models in
+/// `crates/check/tests`).
+#[derive(Debug)]
+pub struct WindowCounters {
+    frames_sent: AtomicU64,
+    peer_received: AtomicU64,
+}
+
+impl Default for WindowCounters {
+    fn default() -> WindowCounters {
+        WindowCounters::new()
+    }
+}
+
+impl WindowCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> WindowCounters {
+        WindowCounters { frames_sent: AtomicU64::new(0), peer_received: AtomicU64::new(0) }
+    }
+
+    /// Coded data frames sent so far.
+    pub fn frames_sent(&self) -> u64 {
+        self.frames_sent.load(Ordering::Acquire)
+    }
+
+    /// Highest cumulative receive count the peer has reported.
+    pub fn peer_received(&self) -> u64 {
+        self.peer_received.load(Ordering::Acquire)
+    }
+
+    /// Records one sent data frame, returning the updated total.
+    pub fn record_sent(&self) -> u64 {
+        self.frames_sent.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Max-merges a cumulative `received` report from the peer (resists
+    /// reordered ACKs), returning the updated value. One atomic RMW so
+    /// concurrent merges cannot regress the counter.
+    pub fn merge_received(&self, reported: u64) -> u64 {
+        let merged = self
+            .peer_received
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| Some(cur.max(reported)))
+            .unwrap_or(0);
+        merged.max(reported)
+    }
+}
+
 /// The sans-I/O rateless sender state machine (see module docs).
 #[derive(Debug)]
 pub struct SenderSession {
@@ -163,11 +219,11 @@ pub struct SenderSession {
     started: Instant,
     last_activity: Instant,
     last_trickle: Instant,
-    frames_sent: u64,
+    /// Shared flow-window counters (see [`WindowCounters`]).
+    window: Arc<WindowCounters>,
     bytes_sent: u64,
     announces_sent: u64,
     acks_received: u64,
-    peer_received: u64,
     peer_innovative: u64,
     outcome: Option<SenderOutcome>,
     ended: Option<Instant>,
@@ -221,11 +277,10 @@ impl SenderSession {
             started: now,
             last_activity: now,
             last_trickle: now,
-            frames_sent: 0,
+            window: Arc::new(WindowCounters::new()),
             bytes_sent: 0,
             announces_sent: 0,
             acks_received: 0,
-            peer_received: 0,
             peer_innovative: 0,
             outcome: None,
             ended: None,
@@ -274,14 +329,14 @@ impl SenderSession {
                 self.acks_received += 1;
                 metrics().acks_received.inc();
                 // Counters are cumulative; max-merge resists reordered ACKs.
-                self.peer_received = self.peer_received.max(*received);
+                self.window.merge_received(*received);
                 self.peer_innovative = self.peer_innovative.max(*innovative);
                 for i in 0..self.completed.len().min(completed.len()) {
                     if completed.get(i) {
                         self.completed.set(i);
                     }
                 }
-                self.redundancy.observe(self.frames_sent, self.peer_received);
+                self.redundancy.observe(self.window.frames_sent(), self.window.peer_received());
                 let m = metrics();
                 m.loss_estimate.set(self.redundancy.loss_estimate());
                 m.redundancy_factor.set(self.redundancy.factor());
@@ -293,7 +348,7 @@ impl SenderSession {
             Payload::Fin { received, innovative } => {
                 self.last_activity = now;
                 self.acked_once = true;
-                self.peer_received = self.peer_received.max(*received);
+                self.window.merge_received(*received);
                 self.peer_innovative = self.peer_innovative.max(*innovative);
                 for i in 0..self.completed.len() {
                     self.completed.set(i);
@@ -355,7 +410,7 @@ impl SenderSession {
                     .encode()
                     .expect("frame size was validated at construction");
                 self.sent_per_segment[segment] += 1;
-                self.frames_sent += 1;
+                self.window.record_sent();
                 self.bytes_sent += bytes.len() as u64;
                 metrics().frames_sent.inc();
                 return SenderEvent::Transmit(bytes);
@@ -381,16 +436,22 @@ impl SenderSession {
         }
     }
 
+    /// Shared handle to the flow-window counters, for observation from
+    /// threads other than the one driving `poll` (e.g. server stats).
+    pub fn window_counters(&self) -> Arc<WindowCounters> {
+        Arc::clone(&self.window)
+    }
+
     /// The final report (valid once `poll` returned `Finished`; callable
     /// any time for progress snapshots).
     pub fn report(&self, now: Instant) -> SenderReport {
         SenderReport {
             outcome: self.outcome.unwrap_or(SenderOutcome::IdleTimeout),
-            frames_sent: self.frames_sent,
+            frames_sent: self.window.frames_sent(),
             bytes_sent: self.bytes_sent,
             announces_sent: self.announces_sent,
             acks_received: self.acks_received,
-            peer_received: self.peer_received,
+            peer_received: self.window.peer_received(),
             peer_innovative: self.peer_innovative,
             segments_total: self.encoder.total_segments(),
             segments_completed: self.completed.count_complete(),
@@ -461,7 +522,8 @@ impl SenderSession {
     /// deadlock the session.
     fn window_open(&self) -> bool {
         let survival = 1.0 - self.redundancy.loss_estimate();
-        let in_flight = self.frames_sent as f64 * survival - self.peer_received as f64;
+        let in_flight =
+            self.window.frames_sent() as f64 * survival - self.window.peer_received() as f64;
         metrics().window_occupancy.set(in_flight.max(0.0) / self.config.window_frames as f64);
         in_flight < self.config.window_frames as f64
     }
@@ -500,7 +562,9 @@ impl SenderSession {
             return;
         }
         let survival = 1.0 - self.redundancy.loss_estimate();
-        let in_flight = (self.frames_sent as f64 * survival - self.peer_received as f64).max(0.0);
+        let in_flight = (self.window.frames_sent() as f64 * survival
+            - self.window.peer_received() as f64)
+            .max(0.0);
         let deficit = remaining - in_flight;
         if deficit <= 0.0 {
             return;
@@ -578,7 +642,7 @@ mod tests {
             }
         }
         assert!(trickled > 0, "trickle must release more data frames");
-        assert_eq!(s.frames_sent, data_frames + trickled);
+        assert_eq!(s.window_counters().frames_sent(), data_frames + trickled);
     }
 
     #[test]

@@ -344,7 +344,9 @@ impl Datagram {
         if total > MAX_DATAGRAM_BYTES {
             return Err(WireError::TooLarge { needed: total });
         }
-        let mut out = Vec::with_capacity(total);
+        // Pool-backed: the transport drivers recycle sent datagrams, so
+        // steady-state encodes reuse this allocation.
+        let mut out = nc_pool::BytesPool::global().take_capacity(total);
         out.extend_from_slice(&MAGIC);
         out.push(VERSION);
         out.push(self.payload.kind_byte());

@@ -16,8 +16,11 @@
 //! [`Encoder`]: https://docs.rs/nc-rlnc
 //! [`Decoder`]: https://docs.rs/nc-rlnc
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+// Shim-layer imports (std re-exports normally, model-checker types under
+// `--cfg nc_check`) so the shelf locking and retained-count protocol are
+// explorable by nc-check.
+use nc_check::sync::atomic::{AtomicUsize, Ordering};
+use nc_check::sync::{Arc, Mutex, OnceLock};
 
 use crate::metrics::metrics;
 
@@ -107,6 +110,16 @@ impl BytesPool {
         let mut v = self.grab(len).unwrap_or_else(|| Vec::with_capacity(len));
         v.clear();
         v.resize(len, 0);
+        v
+    }
+
+    /// An *empty* vector with at least `cap` capacity, reusing shelved
+    /// allocations when available (no zeroing pass — the caller appends).
+    /// The serialization hot paths build datagrams into these; the
+    /// transport drivers recycle the allocation after the socket send.
+    pub fn take_capacity(&self, cap: usize) -> Vec<u8> {
+        let mut v = self.grab(cap).unwrap_or_else(|| Vec::with_capacity(cap));
+        v.clear();
         v
     }
 

@@ -19,9 +19,16 @@ use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
+
+// Concurrency primitives come from nc-check's shim layer: a transparent
+// re-export of `std` in normal builds, the deterministic model checker's
+// instrumented types under `RUSTFLAGS="--cfg nc_check"` (see
+// crates/check). Keeping every atomic/lock/park on the shims is what lets
+// CI exhaustively explore this executor's schedules.
+use nc_check::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use nc_check::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use nc_check::thread;
 
 use crate::metrics::metrics;
 
@@ -91,7 +98,7 @@ impl Shared {
         }
         let n = self.locals.len();
         // Start at a rotating offset so thieves don't all hammer worker 0.
-        let start = self.pending.load(Ordering::Relaxed);
+        let start = self.pending.load(Ordering::Acquire);
         for k in 0..n {
             let j = (start + k) % n;
             if Some(j) == me {
@@ -114,7 +121,7 @@ impl Shared {
     fn note_pop(&self) {
         let prev = self
             .pending
-            .fetch_update(Ordering::AcqRel, Ordering::Relaxed, |p| Some(p.saturating_sub(1)))
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |p| Some(p.saturating_sub(1)))
             .unwrap_or(0);
         metrics().queue_depth.set(prev.saturating_sub(1) as f64);
     }
@@ -153,7 +160,7 @@ impl Shared {
 /// ```
 pub struct Pool {
     shared: Arc<Shared>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
     threads: usize,
 }
 
@@ -183,7 +190,7 @@ impl Pool {
         let workers = (0..threads)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
+                thread::Builder::new()
                     .name(format!("nc-pool-{i}"))
                     .spawn(move || worker_main(shared, i))
                     .expect("failed to spawn pool worker")
@@ -211,7 +218,7 @@ impl Pool {
 
     /// The process-wide pool sized to the host's available parallelism.
     pub fn global() -> Arc<Pool> {
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let threads = thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
         Pool::shared(threads)
     }
 
@@ -270,6 +277,23 @@ impl Pool {
 
     /// Blocks until `state.outstanding == 0`, executing queued tasks
     /// while waiting instead of spinning or sleeping.
+    ///
+    /// **Wait predicate** (scope-caller park site): sleep while
+    /// `outstanding != 0 && pending == 0` — "my scope has unfinished
+    /// tasks and there is nothing queued I could help with". Both halves
+    /// are re-checked under the sleep mutex before parking, closing the
+    /// race against a task that completes (or is pushed) between the
+    /// outer check and the wait; the completing side brackets its notify
+    /// with the same mutex (see [`Shared::notify`]).
+    ///
+    /// Spurious wakeups are harmless: the surrounding `while` re-evaluates
+    /// `outstanding` and simply parks again. Poisoning is absorbed by both
+    /// [`lock`] and the `unwrap_or_else` on the wait result — a panicked
+    /// task must never convert into a caller deadlock (see [`lock`]'s
+    /// soundness note). The 1 ms timeout is a backstop only, *not* part of
+    /// correctness: nc-check models this wait as untimed, and the checked
+    /// models in `crates/check/tests/executor_models.rs` verify no
+    /// schedule loses the completion wakeup.
     fn wait_scope(&self, state: &ScopeState) {
         let me = current_worker(self.shared.id);
         while state.outstanding.load(Ordering::Acquire) != 0 {
@@ -367,6 +391,22 @@ fn current_worker(pool_id: usize) -> Option<usize> {
     })
 }
 
+/// The worker loop: drain tasks, then park.
+///
+/// **Wait predicate** (worker park site): sleep while `pending == 0 &&
+/// !shutdown` — "no queued work anywhere and the pool is alive". Both
+/// halves are re-checked under the sleep mutex before parking, closing
+/// the race against a `push_task` (which increments `pending` *before*
+/// enqueueing, then notifies under the same mutex) and against `Drop`
+/// (which stores `shutdown` and broadcast-notifies).
+///
+/// Spurious wakeups are harmless: the loop re-runs `find_task` and parks
+/// again if nothing is there. Poisoning is absorbed by [`lock`] and the
+/// `unwrap_or_else` on the wait result. The 50 ms timeout bounds the
+/// idle-time histogram buckets and lets a worker notice shutdown even if
+/// a wakeup were lost — but correctness does not lean on it: nc-check
+/// models the wait as untimed, and `executor_models.rs` explores both the
+/// push-vs-park and shutdown-vs-park races.
 fn worker_main(shared: Arc<Shared>, index: usize) {
     WORKER.with(|w| w.set(Some((shared.id, index))));
     loop {
@@ -416,7 +456,7 @@ pub struct Scope<'scope> {
 impl std::fmt::Debug for Scope<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Scope")
-            .field("outstanding", &self.state.outstanding.load(Ordering::Relaxed))
+            .field("outstanding", &self.state.outstanding.load(Ordering::Acquire))
             .finish_non_exhaustive()
     }
 }
@@ -429,7 +469,7 @@ impl<'scope> Scope<'scope> {
     where
         F: FnOnce() + Send + 'scope,
     {
-        self.state.outstanding.fetch_add(1, Ordering::Relaxed);
+        self.state.outstanding.fetch_add(1, Ordering::AcqRel);
         let state = Arc::clone(&self.state);
         let shared = Arc::clone(&self.pool.shared);
         let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
