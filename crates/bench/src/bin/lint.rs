@@ -1,8 +1,8 @@
 //! Repo-local source lint for the concurrency and allocation disciplines
 //! that `nc-check` verifies dynamically.
 //!
-//! Three rules, each tied to an invariant the model checker or the buffer
-//! pool owns:
+//! Four rules, each tied to an invariant the model checker, the buffer
+//! pool, or the batched-I/O seam owns:
 //!
 //! * **thread-spawn** — raw `std::thread::spawn` outside `crates/pool`
 //!   (and `crates/check`, which implements the shim). Product threading
@@ -17,6 +17,12 @@
 //!   `frames_sent`, `peer_received`). The nc-check models verify these
 //!   protocols under SC exploration; a Relaxed hole in the real code is
 //!   exactly the kind of divergence the models cannot see.
+//! * **raw-udp-io** — `.send_to(` / `.recv_from(` outside the transport's
+//!   I/O seam (`crates/net/src/channel.rs` and `crates/net/src/sysio.rs`).
+//!   Datagram I/O must route through `BatchSocket`/`UdpChannel` so the
+//!   `net.syscalls` accounting the capacity bench divides by stays exact,
+//!   and so the batched Linux path and the portable fallback cannot
+//!   silently diverge at a call site.
 //!
 //! A finding is waived by a comment on the same line or the line above:
 //!
@@ -44,7 +50,7 @@ struct Rule {
 const INVARIANT_ATOMICS: [&str; 6] =
     ["pending", "outstanding", "retained", "cursor", "frames_sent", "peer_received"];
 
-const RULES: [Rule; 3] = [
+const RULES: [Rule; 4] = [
     Rule {
         name: "thread-spawn",
         explain: "raw std::thread::spawn outside crates/pool — use nc_pool::Pool or \
@@ -75,6 +81,14 @@ const RULES: [Rule; 3] = [
                     })
                 })
         },
+    },
+    Rule {
+        name: "raw-udp-io",
+        explain: "raw UDP send_to/recv_from outside the channel/sysio seam — route datagrams \
+                  through BatchSocket/UdpChannel so syscall accounting and the batched/portable \
+                  split stay correct",
+        applies: |path| path != "crates/net/src/channel.rs" && path != "crates/net/src/sysio.rs",
+        matches: |code| code.contains(".send_to(") || code.contains(".recv_from("),
     },
 ];
 
@@ -207,6 +221,22 @@ mod tests {
         // Suffix of another identifier is not the invariant atomic.
         assert!(!m("suspending.load(Ordering::Relaxed)"));
         assert!(!m("self.pending.load(Ordering::Acquire)"));
+    }
+
+    #[test]
+    fn raw_udp_io_rule_matches_call_sites_only() {
+        let rule = &RULES[3];
+        assert_eq!(rule.name, "raw-udp-io");
+        assert!((rule.matches)("socket.send_to(&bytes, peer)?;"));
+        assert!((rule.matches)("let (len, from) = sock.recv_from(&mut buf)?;"));
+        // Function *definitions/imports* with similar names don't trip it.
+        assert!(!(rule.matches)("pub(crate) fn send_to_batch(socket: &UdpSocket) {}"));
+        assert!(!(rule.matches)("use crate::sysio::send_to_batch;"));
+        // The seam itself is exempt; everything else applies.
+        assert!(!(rule.applies)("crates/net/src/channel.rs"));
+        assert!(!(rule.applies)("crates/net/src/sysio.rs"));
+        assert!((rule.applies)("crates/net/src/server.rs"));
+        assert!((rule.applies)("crates/bench/src/bin/server_bench.rs"));
     }
 
     #[test]

@@ -54,6 +54,10 @@ pub struct UdpChannel {
     /// Last-applied read mode (`None` = nonblocking), so hot recv loops
     /// don't pay two mode-change syscalls per datagram.
     read_mode: Option<Option<Duration>>,
+    /// Receive slots for [`UdpChannel::recv_many`], built on first use so
+    /// plain point-to-point channels don't carry them.
+    batch_slots: Vec<Vec<u8>>,
+    batch_meta: Vec<(usize, SocketAddr)>,
 }
 
 impl UdpChannel {
@@ -70,7 +74,13 @@ impl UdpChannel {
 
     /// Wraps an already-connected socket.
     pub fn from_socket(socket: UdpSocket) -> UdpChannel {
-        UdpChannel { socket, buf: vec![0u8; MAX_DATAGRAM_BYTES], read_mode: None }
+        UdpChannel {
+            socket,
+            buf: vec![0u8; MAX_DATAGRAM_BYTES],
+            read_mode: None,
+            batch_slots: Vec::new(),
+            batch_meta: Vec::new(),
+        }
     }
 
     /// The socket's local address.
@@ -80,6 +90,51 @@ impl UdpChannel {
     /// Propagates `UdpSocket::local_addr` errors.
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
         self.socket.local_addr()
+    }
+
+    /// Receives up to a small batch of datagrams in (at most) one wait:
+    /// on Linux a `poll` + `recvmmsg` pair, elsewhere a timed receive
+    /// followed by nonblocking drains. `on` is invoked once per datagram.
+    /// Returns the number received; `0` means the timeout elapsed.
+    ///
+    /// This is the client-side mirror of [`BatchSocket::recv_batch`]: a
+    /// receiver draining a coded stream takes many frames per syscall
+    /// instead of one.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the underlying socket.
+    pub fn recv_many(
+        &mut self,
+        timeout: Duration,
+        mut on: impl FnMut(PooledBuf),
+    ) -> io::Result<usize> {
+        if self.batch_slots.is_empty() {
+            self.batch_slots = (0..16).map(|_| vec![0u8; MAX_DATAGRAM_BYTES]).collect();
+        }
+        let got = crate::sysio::recv_from_batch(
+            &self.socket,
+            timeout,
+            &mut self.batch_slots,
+            &mut self.batch_meta,
+        )?;
+        // The portable sysio path manages the socket's blocking mode
+        // itself; drop the cache so the next `recv_timeout` re-applies.
+        self.read_mode = None;
+        let m = crate::metrics::metrics();
+        if got > 0 {
+            m.rx_batch.record(got as u64);
+        }
+        for i in 0..got {
+            let (len, _) = self.batch_meta[i];
+            if len == 0 {
+                continue;
+            }
+            m.rx_datagrams.inc();
+            m.rx_bytes_copied.add(len as u64);
+            on(BytesPool::global().take_copy(&self.batch_slots[i][..len]));
+        }
+        Ok(got)
     }
 }
 
@@ -124,6 +179,231 @@ impl Channel for UdpChannel {
             }
             Err(e) => Err(e),
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batched, unconnected sockets (the server side)
+// ---------------------------------------------------------------------------
+
+/// An unconnected UDP socket with batched send/receive — the building
+/// block of the sharded server.
+///
+/// Outgoing datagrams are staged with [`BatchSocket::queue`] and handed to
+/// the kernel in one `sendmmsg` per [`flush`](BatchSocket::flush) (one
+/// syscall per datagram on the portable path — same API, fewer savings).
+/// Incoming datagrams arrive through [`recv_batch`](BatchSocket::recv_batch),
+/// which drains up to a batch per wait. Queue buffers are drawn from and
+/// recycled to the process-wide [`BytesPool`], so a steady-state server
+/// sends without allocating.
+///
+/// `send_one`/`recv_one` are the unbatched escape hatches the legacy
+/// single-socket [`crate::server::Server`] runs on; they keep its
+/// one-datagram-per-syscall behavior (it is the capacity bench's baseline)
+/// while still routing through this seam so syscall accounting holds.
+#[derive(Debug)]
+pub struct BatchSocket {
+    socket: UdpSocket,
+    slot_bytes: usize,
+    /// Receive slots, grown on demand: a socket that only ever uses
+    /// `recv_one` carries one slot, a batching shard carries `MAX_BATCH`.
+    slots: Vec<Vec<u8>>,
+    meta: Vec<(usize, SocketAddr)>,
+    out: Vec<(SocketAddr, Vec<u8>)>,
+}
+
+impl BatchSocket {
+    /// Binds one batching socket on `addr`. `slot_bytes` caps the largest
+    /// datagram a receive can deliver — size it from
+    /// [`crate::wire::ack_wire_bytes`] (servers receive only feedback) or
+    /// [`MAX_DATAGRAM_BYTES`] (anything).
+    ///
+    /// # Errors
+    ///
+    /// Address resolution or socket errors.
+    pub fn bind(addr: impl ToSocketAddrs, slot_bytes: usize) -> io::Result<BatchSocket> {
+        let mut group = BatchSocket::group(addr, 1, slot_bytes)?;
+        Ok(group.remove(0))
+    }
+
+    /// Binds `shards` sockets sharing one address. On Linux this is a
+    /// real `SO_REUSEPORT` group (the kernel hashes each peer's flow to a
+    /// stable member); elsewhere it is one socket cloned `shards` times,
+    /// and peers land on whichever clone reads first.
+    ///
+    /// # Errors
+    ///
+    /// Address resolution or socket errors.
+    pub fn group(
+        addr: impl ToSocketAddrs,
+        shards: usize,
+        slot_bytes: usize,
+    ) -> io::Result<Vec<BatchSocket>> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
+        let slot_bytes = slot_bytes.clamp(64, MAX_DATAGRAM_BYTES);
+        let sockets = crate::sysio::bind_group(addr, shards.max(1))?;
+        Ok(sockets
+            .into_iter()
+            .map(|socket| BatchSocket {
+                socket,
+                slot_bytes,
+                slots: Vec::new(),
+                meta: Vec::new(),
+                out: Vec::new(),
+            })
+            .collect())
+    }
+
+    fn ensure_slots(&mut self, n: usize) {
+        while self.slots.len() < n {
+            self.slots.push(vec![0u8; self.slot_bytes]);
+        }
+    }
+
+    /// Whether this build coalesces syscalls (`sendmmsg`/`recvmmsg`) or
+    /// falls back to one datagram per syscall.
+    pub fn batched() -> bool {
+        crate::sysio::batched()
+    }
+
+    /// The socket's local address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `UdpSocket::local_addr` errors.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// Requests a `bytes`-sized kernel receive buffer so batched drains
+    /// can absorb bursts instead of shedding them as loss. Best-effort:
+    /// Linux grants up to `net.core.rmem_max`; the portable path keeps
+    /// the kernel default (see the fallback table in [`crate::sysio`]).
+    ///
+    /// # Errors
+    ///
+    /// `setsockopt` failures on the Linux path.
+    pub fn set_recv_buffer(&self, bytes: usize) -> io::Result<()> {
+        crate::sysio::set_recv_buffer(&self.socket, bytes)
+    }
+
+    /// Stages one datagram for the next flush, flushing eagerly when a
+    /// full batch has accumulated. Takes ownership of `bytes` (draw it
+    /// from the [`BytesPool`]); the buffer is recycled after the flush.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from an eager flush.
+    pub fn queue(&mut self, to: SocketAddr, bytes: Vec<u8>) -> io::Result<()> {
+        self.out.push((to, bytes));
+        if self.out.len() >= crate::sysio::MAX_BATCH {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Sends everything staged by [`queue`](BatchSocket::queue) and
+    /// recycles the buffers. Returns the number of datagrams the kernel
+    /// accepted (backpressure and ICMP feedback drop the rest — loss, not
+    /// failure).
+    ///
+    /// # Errors
+    ///
+    /// Non-loss I/O errors from the send path.
+    pub fn flush(&mut self) -> io::Result<usize> {
+        if self.out.is_empty() {
+            return Ok(0);
+        }
+        let result = crate::sysio::send_to_batch(&self.socket, &self.out);
+        let m = crate::metrics::metrics();
+        m.tx_batch.record(self.out.len() as u64);
+        for (_, bytes) in self.out.drain(..) {
+            BytesPool::global().recycle(bytes);
+        }
+        let sent = result?;
+        m.tx_datagrams.add(sent as u64);
+        Ok(sent)
+    }
+
+    /// Sends one datagram immediately (flushing any staged batch first so
+    /// ordering is preserved).
+    ///
+    /// # Errors
+    ///
+    /// Non-loss I/O errors from the send path.
+    pub fn send_one(&mut self, to: SocketAddr, bytes: &[u8]) -> io::Result<()> {
+        self.flush()?;
+        let msg = [(to, BytesPool::global().take_vec_copy(bytes))];
+        let result = crate::sysio::send_to_batch(&self.socket, &msg);
+        let [(_, bytes)] = msg;
+        BytesPool::global().recycle(bytes);
+        let sent = result?;
+        let m = crate::metrics::metrics();
+        m.tx_batch.record(1);
+        m.tx_datagrams.add(sent as u64);
+        Ok(())
+    }
+
+    /// Receives up to one batch of datagrams, waiting at most `timeout`
+    /// for the first (zero polls). `on` sees each datagram's source and
+    /// payload *borrowed from the receive slot* — no per-datagram copy.
+    /// Returns the number received.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the receive path.
+    pub fn recv_batch(
+        &mut self,
+        timeout: Duration,
+        mut on: impl FnMut(SocketAddr, &[u8]),
+    ) -> io::Result<usize> {
+        self.ensure_slots(crate::sysio::MAX_BATCH);
+        let got =
+            crate::sysio::recv_from_batch(&self.socket, timeout, &mut self.slots, &mut self.meta)?;
+        if got == 0 {
+            return Ok(0);
+        }
+        let m = crate::metrics::metrics();
+        m.rx_batch.record(got as u64);
+        for i in 0..got {
+            let (len, from) = self.meta[i];
+            if len == 0 || len > self.slots[i].len() {
+                continue; // undecodable source or truncated datagram
+            }
+            m.rx_datagrams.inc();
+            on(from, &self.slots[i][..len]);
+        }
+        Ok(got)
+    }
+
+    /// Receives at most one datagram — the unbatched path the legacy
+    /// single-socket server measures its baseline on.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the receive path.
+    pub fn recv_one(&mut self, timeout: Duration) -> io::Result<Option<(SocketAddr, PooledBuf)>> {
+        self.ensure_slots(1);
+        let got = crate::sysio::recv_from_batch(
+            &self.socket,
+            timeout,
+            &mut self.slots[..1],
+            &mut self.meta,
+        )?;
+        if got == 0 {
+            return Ok(None);
+        }
+        let (len, from) = self.meta[0];
+        if len == 0 {
+            return Ok(None);
+        }
+        let m = crate::metrics::metrics();
+        m.rx_datagrams.inc();
+        m.rx_bytes_copied.add(len as u64);
+        Ok(Some((from, BytesPool::global().take_copy(&self.slots[0][..len]))))
     }
 }
 
@@ -397,6 +677,64 @@ mod tests {
         assert_eq!(b.recv_timeout(Duration::from_millis(200)).unwrap().unwrap(), b"hello");
         assert_eq!(b.recv_timeout(Duration::from_millis(1)).unwrap(), None);
         assert_eq!(b.recv_timeout(Duration::ZERO).unwrap(), None);
+    }
+
+    #[test]
+    fn batch_socket_queue_flush_roundtrip() {
+        let mut rx = BatchSocket::bind("127.0.0.1:0", 2048).unwrap();
+        let mut tx = BatchSocket::bind("127.0.0.1:0", 2048).unwrap();
+        let to = rx.local_addr().unwrap();
+        for i in 0..20u8 {
+            tx.queue(to, vec![i; 100]).unwrap();
+        }
+        assert_eq!(tx.flush().unwrap(), 20);
+        assert_eq!(tx.flush().unwrap(), 0, "flush drains the stage");
+
+        let mut seen = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while seen.len() < 20 && std::time::Instant::now() < deadline {
+            rx.recv_batch(Duration::from_millis(200), |from, bytes| {
+                assert_eq!(from, tx.local_addr().unwrap());
+                seen.push(bytes.to_vec());
+            })
+            .unwrap();
+        }
+        seen.sort();
+        assert_eq!(seen, (0..20u8).map(|i| vec![i; 100]).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_socket_send_one_and_recv_one() {
+        let mut rx = BatchSocket::bind("127.0.0.1:0", 2048).unwrap();
+        let mut tx = BatchSocket::bind("127.0.0.1:0", 2048).unwrap();
+        tx.send_one(rx.local_addr().unwrap(), b"solo").unwrap();
+        let (from, buf) = rx.recv_one(Duration::from_secs(5)).unwrap().unwrap();
+        assert_eq!(from, tx.local_addr().unwrap());
+        assert_eq!(&buf[..], b"solo");
+        assert!(rx.recv_one(Duration::ZERO).unwrap().is_none());
+    }
+
+    #[test]
+    fn recv_many_drains_multiple_datagrams() {
+        let a = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let b = UdpSocket::bind("127.0.0.1:0").unwrap();
+        a.connect(b.local_addr().unwrap()).unwrap();
+        b.connect(a.local_addr().unwrap()).unwrap();
+        let mut a = UdpChannel::from_socket(a);
+        let mut b = UdpChannel::from_socket(b);
+        for i in 0..10u8 {
+            a.send(&[i; 8]).unwrap();
+        }
+        let mut seen = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while seen.len() < 10 && std::time::Instant::now() < deadline {
+            b.recv_many(Duration::from_millis(200), |buf| seen.push(buf.to_vec())).unwrap();
+        }
+        seen.sort();
+        assert_eq!(seen, (0..10u8).map(|i| vec![i; 8]).collect::<Vec<_>>());
+        // Interleaves cleanly with the one-at-a-time path.
+        a.send(b"tail").unwrap();
+        assert_eq!(b.recv_timeout(Duration::from_secs(5)).unwrap().unwrap(), b"tail");
     }
 
     #[test]

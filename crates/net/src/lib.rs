@@ -23,6 +23,8 @@
 //! | [`receiver`] | sans-I/O receiver state machine + blocking driver |
 //! | [`sender`] | blocking sender driver over any [`channel::Channel`] |
 //! | [`server`] | many concurrent receivers on one socket, per-session stats |
+//! | `sysio` | the platform seam: `SO_REUSEPORT` groups + `sendmmsg`/`recvmmsg` on Linux, `std` fallback elsewhere |
+//! | [`shard`] | multi-socket sharded server: one session map per `nc-pool` worker, batched syscalls |
 //!
 //! There is **no retransmission path**. Loss is repaired by sending fresh
 //! coded frames for whichever segments still lack rank — the rateless
@@ -59,7 +61,10 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the one `#[allow(unsafe_code)]` in the crate sits
+// on `sysio::linux`, the module that declares the batched syscalls the
+// sharded server is built on. Everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod channel;
@@ -69,10 +74,13 @@ pub mod receiver;
 pub mod sender;
 pub mod server;
 pub mod session;
+pub mod shard;
+mod sysio;
 pub mod wire;
 
 pub use channel::{
-    memory_pair, Channel, FaultProfile, FaultStats, FaultyChannel, MemoryChannel, UdpChannel,
+    memory_pair, BatchSocket, Channel, FaultProfile, FaultStats, FaultyChannel, MemoryChannel,
+    UdpChannel,
 };
 pub use nc_pool::PooledBuf;
 pub use receiver::{
@@ -81,4 +89,5 @@ pub use receiver::{
 pub use sender::{run_sender, send_stream};
 pub use server::{ServedTransfer, Server, ServerConfig};
 pub use session::{SenderConfig, SenderOutcome, SenderReport, SenderSession};
+pub use shard::{ShardedServer, ShardedServerConfig};
 pub use wire::{Datagram, Payload, SegmentBitmap, StreamMeta, WireError};

@@ -40,6 +40,23 @@ pub(crate) struct NetMetrics {
     pub goodput_bytes_per_s: Arc<Gauge>,
     /// Token-bucket wait quoted to sender sessions, in nanoseconds.
     pub pacing_wait_ns: Arc<Histogram>,
+    /// Syscalls issued by the batched-I/O seam ([`crate::sysio`]):
+    /// sends, receives, polls, and (on the portable path) mode changes.
+    pub syscalls: Arc<Counter>,
+    /// Datagrams handed to the kernel through [`crate::channel::BatchSocket`].
+    pub tx_datagrams: Arc<Counter>,
+    /// Datagrams received through [`crate::channel::BatchSocket`].
+    pub rx_datagrams: Arc<Counter>,
+    /// Datagrams per batched send, sampled at every flush.
+    pub tx_batch: Arc<Histogram>,
+    /// Datagrams per batched receive, sampled at every non-empty drain.
+    pub rx_batch: Arc<Histogram>,
+    /// How late a shard loop woke relative to its quoted deadline, ns.
+    pub deadline_miss_ns: Arc<Histogram>,
+    /// Datagrams re-routed between shards because the kernel's flow hash
+    /// (or the portable race-first fallback) disagreed with the
+    /// owner-hash shard assignment.
+    pub shard_forwards: Arc<Counter>,
 }
 
 pub(crate) fn metrics() -> &'static NetMetrics {
@@ -61,6 +78,13 @@ pub(crate) fn metrics() -> &'static NetMetrics {
             window_occupancy: r.gauge("net.window_occupancy"),
             goodput_bytes_per_s: r.gauge("net.goodput_bytes_per_s"),
             pacing_wait_ns: r.histogram("net.pacing_wait_ns"),
+            syscalls: r.counter("net.syscalls"),
+            tx_datagrams: r.counter("net.tx_datagrams"),
+            rx_datagrams: r.counter("net.rx_datagrams"),
+            tx_batch: r.histogram("net.tx_batch"),
+            rx_batch: r.histogram("net.rx_batch"),
+            deadline_miss_ns: r.histogram("net.deadline_miss_ns"),
+            shard_forwards: r.counter("net.shard_forwards"),
         }
     })
 }

@@ -256,7 +256,12 @@ impl ReceiverSession {
                         .expect("request datagrams are small");
                     ReceiverEvent::Transmit(bytes)
                 } else {
-                    ReceiverEvent::Wait(self.config.request_interval)
+                    // Precise: sleep to the retry (or idle) deadline, not
+                    // a full fixed interval past it.
+                    let retry_at =
+                        last_request.expect("checked by `due`") + self.config.request_interval;
+                    let idle_at = self.last_activity + self.config.idle_timeout;
+                    ReceiverEvent::Wait(until(retry_at.min(idle_at), now))
                 }
             }
             State::Receiving { completed, .. } => {
@@ -287,7 +292,10 @@ impl ReceiverSession {
                     self.last_ack_at = Some(now);
                     ReceiverEvent::Transmit(bytes)
                 } else {
-                    ReceiverEvent::Wait(self.config.ack_interval)
+                    let ack_at = self.last_ack_at.expect("interval_due was false")
+                        + self.config.ack_interval;
+                    let idle_at = self.last_activity + self.config.idle_timeout;
+                    ReceiverEvent::Wait(until(ack_at.min(idle_at), now))
                 }
             }
         }
@@ -373,6 +381,12 @@ impl ReceiverSession {
             Err(_) => self.malformed += 1, // out-of-range segment index etc.
         }
     }
+}
+
+/// Time from `now` until `at`, floored so a deadline landing immediately
+/// cannot quote a zero wait and spin the driver.
+fn until(at: Instant, now: Instant) -> Duration {
+    at.saturating_duration_since(now).max(Duration::from_micros(100))
 }
 
 /// Drives a [`ReceiverSession`] over a channel until it finishes,

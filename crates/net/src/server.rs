@@ -13,11 +13,11 @@
 use nc_rlnc::stream::StreamEncoder;
 use std::collections::HashMap;
 use std::io;
-use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::channel::{FaultInjector, FaultProfile, FaultStats};
+use crate::channel::{BatchSocket, FaultInjector, FaultProfile, FaultStats};
 use crate::session::{SenderConfig, SenderEvent, SenderReport, SenderSession};
 use crate::wire::{Datagram, Payload, MAX_DATAGRAM_BYTES};
 
@@ -31,8 +31,17 @@ pub struct ServerConfig {
     /// Max coded frames one session may emit per scheduling step (fairness
     /// bound across concurrent receivers).
     pub burst_per_step: u32,
-    /// Receive-poll granularity when every session is waiting.
+    /// Upper bound on one blocking receive wait. The loop sleeps until the
+    /// earliest session deadline (pacing, stall, announce-retry), capped
+    /// here so reaps and `serve` deadline checks stay responsive; incoming
+    /// datagrams interrupt the wait either way. This is a *cap*, not a
+    /// tick — an idle server wakes at this cadence, not every 2ms.
     pub poll_interval: Duration,
+    /// Kernel receive-buffer size to request on the server socket(s), so
+    /// feedback bursts from many concurrent receivers survive until the
+    /// next batched drain. `None` keeps the kernel default; best-effort
+    /// on the portable path (see [`BatchSocket::set_recv_buffer`]).
+    pub recv_buffer_bytes: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -41,7 +50,8 @@ impl Default for ServerConfig {
             sender: SenderConfig::default(),
             faults: None,
             burst_per_step: 32,
-            poll_interval: Duration::from_millis(2),
+            poll_interval: Duration::from_millis(25),
+            recv_buffer_bytes: None,
         }
     }
 }
@@ -53,6 +63,8 @@ pub struct ServedTransfer {
     pub peer: SocketAddr,
     /// The session id served.
     pub session: u64,
+    /// Which shard served it (always 0 on the single-socket [`Server`]).
+    pub shard: usize,
     /// Full sender-side statistics for the transfer.
     pub report: SenderReport,
     /// Per-session telemetry (`session.*` metrics) captured at reap time;
@@ -61,18 +73,24 @@ pub struct ServedTransfer {
 }
 
 /// A multi-receiver coded-transport server on one UDP socket.
+///
+/// This is deliberately the *unsharded, unbatched* server: one socket, one
+/// datagram per syscall, every session in one map. It stays this way as
+/// the measured baseline for [`crate::shard::ShardedServer`] (the
+/// `server_capacity` bench reports the ratio between the two).
 pub struct Server {
-    socket: UdpSocket,
+    socket: BatchSocket,
     config: ServerConfig,
     content: HashMap<u64, Arc<StreamEncoder>>,
     sessions: HashMap<(SocketAddr, u64), SenderSession>,
+    /// Largest single-step burst each live session has emitted.
+    burst_max: HashMap<(SocketAddr, u64), u64>,
     finished: Vec<ServedTransfer>,
     injector: Option<FaultInjector<SocketAddr>>,
     session_seed: u64,
-    buf: Vec<u8>,
-    /// Last-applied read mode (`None` = nonblocking); avoids two
-    /// mode-change syscalls per received datagram in the serve loop.
-    read_mode: Option<Option<Duration>>,
+    /// Earliest quoted wake-up across sessions, from the previous step.
+    next_timeout: Duration,
+    steps: u64,
 }
 
 impl Server {
@@ -82,18 +100,23 @@ impl Server {
     ///
     /// Any socket bind error.
     pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Server> {
-        let socket = UdpSocket::bind(addr)?;
+        let socket = BatchSocket::bind(addr, MAX_DATAGRAM_BYTES)?;
+        if let Some(bytes) = config.recv_buffer_bytes {
+            socket.set_recv_buffer(bytes)?;
+        }
         let injector = config.faults.map(|(profile, seed)| FaultInjector::new(profile, seed));
+        let next_timeout = config.poll_interval;
         Ok(Server {
             socket,
             config,
             content: HashMap::new(),
             sessions: HashMap::new(),
+            burst_max: HashMap::new(),
             finished: Vec::new(),
             injector,
             session_seed: 0,
-            buf: vec![0u8; MAX_DATAGRAM_BYTES],
-            read_mode: None,
+            next_timeout,
+            steps: 0,
         })
     }
 
@@ -127,6 +150,14 @@ impl Server {
         self.injector.as_ref().map(FaultInjector::stats)
     }
 
+    /// Scheduling steps taken so far. A step is one wake-up of the serve
+    /// loop; an idle server should accumulate these at roughly
+    /// `1 / poll_interval` per second, not at a busy-wait rate (the
+    /// regression test for the old fixed 2ms tick watches this).
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
     /// Serves until `expected` transfers have finished or `deadline`
     /// passes, returning every finished transfer's report.
     ///
@@ -156,30 +187,39 @@ impl Server {
     ///
     /// Propagates socket I/O errors.
     pub fn step(&mut self) -> io::Result<()> {
-        // Block briefly for the first datagram, then drain without waiting.
-        let mut timeout = self.config.poll_interval;
-        while let Some((peer, len)) = self.recv_one(timeout)? {
-            // One copy off the shared socket buffer into recycled pool
-            // storage (dispatch needs `&mut self`, so it cannot borrow
-            // `self.buf` directly); the storage returns on drop.
-            crate::metrics::metrics().rx_bytes_copied.add(len as u64);
-            let bytes = nc_pool::BytesPool::global().take_copy(&self.buf[..len]);
+        self.steps += 1;
+        // Sleep until the earliest session deadline quoted on the previous
+        // pass (capped by `poll_interval`); an arriving datagram cuts the
+        // wait short. Then drain without waiting.
+        let mut timeout = self.next_timeout.min(self.config.poll_interval);
+        while let Some((peer, bytes)) = self.socket.recv_one(timeout)? {
             self.dispatch(peer, &bytes);
             timeout = Duration::ZERO;
         }
 
         let now = Instant::now();
         let keys: Vec<(SocketAddr, u64)> = self.sessions.keys().copied().collect();
+        let mut next = self.config.poll_interval;
         for key in keys {
-            self.advance_session(key, now)?;
+            if let Some(wait) = self.advance_session(key, now)? {
+                next = next.min(wait);
+            }
         }
+        self.next_timeout = next;
         Ok(())
     }
 
-    fn advance_session(&mut self, key: (SocketAddr, u64), now: Instant) -> io::Result<()> {
-        let mut burst = 0;
+    /// Runs one session's burst. Returns the session's next wake-up quote
+    /// (`Duration::ZERO` = it still has budgeted work), or `None` if the
+    /// session finished and was reaped.
+    fn advance_session(
+        &mut self,
+        key: (SocketAddr, u64),
+        now: Instant,
+    ) -> io::Result<Option<Duration>> {
+        let mut burst = 0u64;
         loop {
-            let Some(session) = self.sessions.get_mut(&key) else { return Ok(()) };
+            let Some(session) = self.sessions.get_mut(&key) else { return Ok(None) };
             match session.poll(now) {
                 SenderEvent::Transmit(bytes) => {
                     self.transmit(key.0, &bytes)?;
@@ -187,23 +227,39 @@ impl Server {
                     // reuses the allocation.
                     nc_pool::BytesPool::global().recycle(bytes);
                     burst += 1;
-                    if burst >= self.config.burst_per_step {
-                        return Ok(()); // fairness: let other sessions run
+                    if burst >= u64::from(self.config.burst_per_step) {
+                        self.note_burst(key, burst);
+                        return Ok(Some(Duration::ZERO)); // fairness: yield
                     }
                 }
-                SenderEvent::Wait(_) => return Ok(()),
+                SenderEvent::Wait(wait) => {
+                    self.note_burst(key, burst);
+                    return Ok(Some(wait));
+                }
                 SenderEvent::Finished => {
+                    self.note_burst(key, burst);
                     let session = self.sessions.remove(&key).expect("session present");
+                    let mut metrics = session.metrics_snapshot(now);
+                    metrics
+                        .counters
+                        .insert("session.max_burst_per_step".into(), self.burst_max[&key]);
+                    self.burst_max.remove(&key);
                     self.finished.push(ServedTransfer {
                         peer: key.0,
                         session: key.1,
+                        shard: 0,
                         report: session.report(now),
-                        metrics: session.metrics_snapshot(now),
+                        metrics,
                     });
-                    return Ok(());
+                    return Ok(None);
                 }
             }
         }
+    }
+
+    fn note_burst(&mut self, key: (SocketAddr, u64), burst: u64) {
+        let max = self.burst_max.entry(key).or_insert(0);
+        *max = (*max).max(burst);
     }
 
     fn dispatch(&mut self, peer: SocketAddr, bytes: &[u8]) {
@@ -238,49 +294,12 @@ impl Server {
         match &mut self.injector {
             Some(injector) => {
                 for (to, wire) in injector.admit(peer, bytes) {
-                    self.send_to(&wire, to)?;
+                    self.socket.send_one(to, &wire)?;
                 }
             }
-            None => self.send_to(bytes, peer)?,
+            None => self.socket.send_one(peer, bytes)?,
         }
         Ok(())
-    }
-
-    fn send_to(&self, bytes: &[u8], peer: SocketAddr) -> io::Result<()> {
-        match self.socket.send_to(bytes, peer) {
-            Ok(_) => Ok(()),
-            // ICMP unreachable from an earlier send: loss, not failure.
-            Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => Ok(()),
-            Err(e) => Err(e),
-        }
-    }
-
-    fn recv_one(&mut self, timeout: Duration) -> io::Result<Option<(SocketAddr, usize)>> {
-        let want = if timeout.is_zero() { None } else { Some(timeout) };
-        if self.read_mode != Some(want) {
-            match want {
-                None => self.socket.set_nonblocking(true)?,
-                Some(t) => {
-                    self.socket.set_nonblocking(false)?;
-                    self.socket.set_read_timeout(Some(t))?;
-                }
-            }
-            self.read_mode = Some(want);
-        }
-        match self.socket.recv_from(&mut self.buf) {
-            Ok((len, peer)) => Ok(Some((peer, len))),
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock
-                        | io::ErrorKind::TimedOut
-                        | io::ErrorKind::ConnectionRefused
-                ) =>
-            {
-                Ok(None)
-            }
-            Err(e) => Err(e),
-        }
     }
 }
 
@@ -290,6 +309,7 @@ mod tests {
     use crate::channel::UdpChannel;
     use crate::receiver::{run_receiver, ReceiverConfig, ReceiverSession};
     use nc_rlnc::CodingConfig;
+    use std::net::UdpSocket;
 
     fn stream(len: usize, fill: impl Fn(usize) -> u8) -> (Arc<StreamEncoder>, Vec<u8>) {
         let config = CodingConfig::new(8, 256).unwrap();
@@ -356,11 +376,33 @@ mod tests {
         let addr = server.local_addr().unwrap();
         let client = UdpSocket::bind("127.0.0.1:0").unwrap();
         let request = Datagram::new(12345, Payload::Request).encode().unwrap();
+        // lint: allow(raw-udp-io) — test client poking the server socket directly.
         client.send_to(&request, addr).unwrap();
+        // lint: allow(raw-udp-io) — test client poking the server socket directly.
         client.send_to(b"not a datagram at all", addr).unwrap();
         for _ in 0..5 {
             server.step().unwrap();
         }
         assert_eq!(server.active_sessions(), 0);
+    }
+
+    #[test]
+    fn idle_server_sleeps_instead_of_ticking() {
+        // Regression test for the fixed 2ms poll tick: with nothing to
+        // send and nobody connected, each step must sleep until the
+        // `poll_interval` cap, so half a second of idling is a handful of
+        // wake-ups — not the ~250 the old tick burned.
+        let (encoder, _) = stream(10_000, |i| (i % 251) as u8);
+        let mut server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+        server.publish(1, encoder);
+        let start = Instant::now();
+        while start.elapsed() < Duration::from_millis(500) {
+            server.step().unwrap();
+        }
+        assert!(
+            server.steps() < 60,
+            "idle server busy-waited: {} wake-ups in 500ms",
+            server.steps()
+        );
     }
 }

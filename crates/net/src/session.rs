@@ -45,7 +45,10 @@ pub struct SenderConfig {
     pub window_frames: u64,
     /// How often to re-send the announce until the first ACK.
     pub announce_interval: Duration,
-    /// Poll granularity while waiting for feedback with no send budget.
+    /// Floor on quoted feedback waits. Waits are computed from the
+    /// earliest live timer (stall grace, announce retry, idle timeout,
+    /// deadline); this only stops a timer landing immediately from
+    /// degenerating the driver into a spin loop.
     pub ack_wait: Duration,
     /// With no feedback for this long, trickle a little extra budget to
     /// every incomplete segment (keeps the stream alive through ACK loss).
@@ -432,8 +435,32 @@ impl SenderSession {
                 }
                 continue;
             }
-            return SenderEvent::Wait(self.config.ack_wait);
+            return SenderEvent::Wait(self.next_wake(now));
         }
+    }
+
+    /// Time until the earliest timer that can make `poll` progress with
+    /// no new feedback: the stall-trickle grant, the announce retry, the
+    /// idle timeout, or the hard deadline. Feedback arriving sooner
+    /// re-arms all of them, so drivers treat the quote as an upper bound
+    /// on how long to sleep (channel recvs return early on arrival) —
+    /// never a fixed tick. `ack_wait` floors the quote so a timer landing
+    /// nanoseconds away cannot turn the driver into a spin loop.
+    fn next_wake(&self, now: Instant) -> Duration {
+        // Every branch of `poll` that could fire at or before `now` ran
+        // before this was called, so each deadline here is in the future.
+        let stall_at = self.last_activity.max(self.last_trickle) + self.config.stall_grace;
+        let idle_at = self.last_activity + self.config.idle_timeout;
+        let mut wake = stall_at.min(idle_at);
+        if let Some(deadline) = self.config.deadline {
+            wake = wake.min(self.started + deadline);
+        }
+        if !self.acked_once {
+            if let Some(at) = self.announce_at {
+                wake = wake.min(at + self.config.announce_interval);
+            }
+        }
+        wake.saturating_duration_since(now).max(self.config.ack_wait)
     }
 
     /// Shared handle to the flow-window counters, for observation from

@@ -36,6 +36,15 @@ pub const MAX_BLOCKS: usize = 1 << 14;
 /// Sanity cap on `k` (block size) in an announce.
 pub const MAX_BLOCK_SIZE: usize = 1 << 16;
 
+/// Wire size of an ACK datagram for a stream of `segments` segments — the
+/// largest receiver→sender datagram (header, received/innovative counters,
+/// and the completion bitmap with its length prefix). A server that only
+/// receives feedback sizes its batched receive slots from this instead of
+/// [`MAX_DATAGRAM_BYTES`], shrinking per-socket slot memory ~300x.
+pub const fn ack_wire_bytes(segments: usize) -> usize {
+    HEADER_BYTES + 8 + 8 + 4 + segments.div_ceil(8)
+}
+
 /// Errors from datagram encoding/decoding.
 #[derive(Clone, Debug, PartialEq, Eq)]
 #[non_exhaustive]
@@ -425,6 +434,21 @@ impl Datagram {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ack_wire_bytes_matches_encoded_ack() {
+        for segments in [1usize, 7, 8, 11, 1000, 4096] {
+            let mut bitmap = SegmentBitmap::new(segments);
+            bitmap.set(segments - 1);
+            let ack =
+                Datagram::new(42, Payload::Ack { received: 10, innovative: 9, completed: bitmap });
+            assert_eq!(
+                ack.encode().unwrap().len(),
+                ack_wire_bytes(segments),
+                "segments={segments}"
+            );
+        }
+    }
 
     fn sample_datagrams() -> Vec<Datagram> {
         let mut bitmap = SegmentBitmap::new(11);

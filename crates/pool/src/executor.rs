@@ -68,8 +68,16 @@ struct Shared {
     injector: Mutex<VecDeque<Task>>,
     /// Per-worker deques: the owner pops LIFO, thieves steal FIFO.
     locals: Vec<Mutex<VecDeque<Task>>>,
-    /// Queued-but-unclaimed tasks — the park/unpark condition.
+    /// Per-worker *pinned* queues: only the owning worker ever pops.
+    /// Thieves and helping callers never touch these, which is what makes
+    /// [`Scope::spawn_pinned`]'s placement guarantee hold.
+    pinned: Vec<Mutex<VecDeque<Task>>>,
+    /// Queued-but-unclaimed *stealable* tasks — the shared half of the
+    /// park/unpark condition. Pinned tasks are counted separately (per
+    /// worker) so an idle sibling does not wake for work it cannot take.
     pending: AtomicUsize,
+    /// Queued-but-unclaimed pinned tasks, per worker.
+    pinned_pending: Vec<AtomicUsize>,
     /// Parking lot shared by idle workers and scope waiters.
     sleep: Mutex<()>,
     wake: Condvar,
@@ -85,6 +93,14 @@ impl Shared {
     /// executes under a queue lock.
     fn find_task(&self, me: Option<usize>) -> Option<Task> {
         if let Some(i) = me {
+            // Pinned work first (FIFO): only this worker can run it, so
+            // letting it age behind stealable tasks would serialize the
+            // very placement `spawn_pinned` promises.
+            let task = lock(&self.pinned[i]).pop_front();
+            if let Some(task) = task {
+                self.pinned_pending[i].fetch_sub(1, Ordering::AcqRel);
+                return Some(task);
+            }
             let task = lock(&self.locals[i]).pop_back();
             if let Some(task) = task {
                 self.note_pop();
@@ -182,7 +198,9 @@ impl Pool {
             id: POOL_IDS.fetch_add(1, Ordering::Relaxed),
             injector: Mutex::new(VecDeque::new()),
             locals: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pinned: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
             pending: AtomicUsize::new(0),
+            pinned_pending: (0..threads).map(|_| AtomicUsize::new(0)).collect(),
             sleep: Mutex::new(()),
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -331,6 +349,17 @@ impl Pool {
         }
         self.shared.notify(false);
     }
+
+    /// Enqueues a task only worker `index` may run. The pinned count is
+    /// incremented before the enqueue for the same pop-cannot-outrun-push
+    /// reason as [`Pool::push_task`]; the notify is a broadcast because
+    /// `notify_one` could wake a sibling that cannot take pinned work.
+    fn push_pinned(&self, index: usize, task: Task) {
+        metrics().pinned_tasks.inc();
+        self.shared.pinned_pending[index].fetch_add(1, Ordering::Release);
+        lock(&self.shared.pinned[index]).push_back(task);
+        self.shared.notify(true);
+    }
 }
 
 /// Most distinct thread counts [`Pool::shared`] materialises before it
@@ -394,7 +423,8 @@ fn current_worker(pool_id: usize) -> Option<usize> {
 /// The worker loop: drain tasks, then park.
 ///
 /// **Wait predicate** (worker park site): sleep while `pending == 0 &&
-/// !shutdown` — "no queued work anywhere and the pool is alive". Both
+/// pinned_pending[me] == 0 && !shutdown` — "no stealable work anywhere,
+/// nothing pinned to me, and the pool is alive". Both
 /// halves are re-checked under the sleep mutex before parking, closing
 /// the race against a `push_task` (which increments `pending` *before*
 /// enqueueing, then notifies under the same mutex) and against `Drop`
@@ -422,6 +452,7 @@ fn worker_main(shared: Arc<Shared>, index: usize) {
         {
             let guard = lock(&shared.sleep);
             if shared.pending.load(Ordering::Acquire) == 0
+                && shared.pinned_pending[index].load(Ordering::Acquire) == 0
                 && !shared.shutdown.load(Ordering::Acquire)
             {
                 // The timeout bounds idle-time histogram buckets and lets
@@ -469,6 +500,38 @@ impl<'scope> Scope<'scope> {
     where
         F: FnOnce() + Send + 'scope,
     {
+        let task = self.make_task(f);
+        self.pool.push_task(task);
+    }
+
+    /// Spawns `f` pinned to worker `worker % pool.threads()`: it runs on
+    /// that worker's thread and no other. Stealing never moves it and a
+    /// helping scope caller never executes it.
+    ///
+    /// This exists for shard-per-worker servers: each shard owns its
+    /// socket and session map without synchronization *because* the pool
+    /// guarantees the shard loop and that worker are one-to-one. Pinned
+    /// tasks on the same worker run FIFO, ahead of stealable work queued
+    /// on that worker's deque.
+    ///
+    /// The modulo means the placement request is always satisfiable; the
+    /// caller learns the effective worker from the return value.
+    pub fn spawn_pinned<F>(&self, worker: usize, f: F) -> usize
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        let index = worker % self.pool.threads;
+        let task = self.make_task(f);
+        self.pool.push_pinned(index, task);
+        index
+    }
+
+    /// Wraps `f` with the scope bookkeeping (panic capture, outstanding
+    /// count, completion wakeup) and erases its lifetime.
+    fn make_task<F>(&self, f: F) -> Task
+    where
+        F: FnOnce() + Send + 'scope,
+    {
         self.state.outstanding.fetch_add(1, Ordering::AcqRel);
         let state = Arc::clone(&self.state);
         let shared = Arc::clone(&self.pool.shared);
@@ -491,9 +554,7 @@ impl<'scope> Scope<'scope> {
         // and every `'scope` borrow inside it — is dropped before the
         // data it borrows can be. The two trait objects differ only in
         // the lifetime bound, which has no layout effect.
-        let task: Task =
-            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(task) };
-        self.pool.push_task(task);
+        unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(task) }
     }
 }
 
@@ -608,6 +669,63 @@ mod tests {
             }
         });
         assert_eq!(hits.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn pinned_tasks_run_on_the_requested_worker() {
+        let pool = Pool::new(3);
+        // Worker threads are named "nc-pool-{index}", which is the only
+        // externally observable identity — assert placement through it.
+        let mut names = vec![String::new(); 9];
+        pool.scope(|scope| {
+            for (i, slot) in names.iter_mut().enumerate() {
+                let effective = scope.spawn_pinned(i, move || {
+                    *slot = std::thread::current().name().unwrap_or("").to_string();
+                });
+                assert_eq!(effective, i % 3);
+            }
+        });
+        for (i, name) in names.iter().enumerate() {
+            assert_eq!(name, &format!("nc-pool-{}", i % 3), "task {i} ran on wrong worker");
+        }
+    }
+
+    #[test]
+    fn pinned_tasks_on_one_worker_run_fifo() {
+        let pool = Pool::new(2);
+        let order = Mutex::new(Vec::new());
+        pool.scope(|scope| {
+            for i in 0..32 {
+                let order = &order;
+                scope.spawn_pinned(1, move || {
+                    lock(order).push(i);
+                });
+            }
+        });
+        let order = lock(&order).clone();
+        assert_eq!(order, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pinned_and_stealable_tasks_coexist() {
+        let pool = Pool::new(4);
+        let pinned_hits = AtomicU64::new(0);
+        let free_hits = AtomicU64::new(0);
+        pool.scope(|scope| {
+            for i in 0..64 {
+                scope.spawn_pinned(i, || {
+                    pinned_hits.fetch_add(1, Ordering::Relaxed);
+                });
+                scope.spawn(|| {
+                    free_hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(pinned_hits.load(Ordering::Relaxed), 64);
+        assert_eq!(free_hits.load(Ordering::Relaxed), 64);
+        for counter in &pool.shared.pinned_pending {
+            assert_eq!(counter.load(Ordering::Acquire), 0);
+        }
     }
 
     #[test]

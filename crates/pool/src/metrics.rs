@@ -14,6 +14,8 @@ pub(crate) struct PoolMetrics {
     pub tasks_executed: Arc<Counter>,
     /// Tasks a worker took from another worker's deque.
     pub steals: Arc<Counter>,
+    /// Tasks submitted to a specific worker via `spawn_pinned`.
+    pub pinned_tasks: Arc<Counter>,
     /// Queued-but-unclaimed tasks, sampled at every push/pop.
     pub queue_depth: Arc<Gauge>,
     /// Time a worker spends parked between tasks.
@@ -33,6 +35,7 @@ pub(crate) fn metrics() -> &'static PoolMetrics {
         PoolMetrics {
             tasks_executed: r.counter("pool.tasks_executed"),
             steals: r.counter("pool.steals"),
+            pinned_tasks: r.counter("pool.pinned_tasks"),
             queue_depth: r.gauge("pool.queue_depth"),
             worker_idle_ns: r.histogram("pool.worker_idle_ns"),
             buffer_hits: r.counter("pool.buffer_hits"),

@@ -53,7 +53,7 @@ mod snapshot;
 
 pub use json::JsonError;
 pub use metrics::{Counter, Gauge, Histogram, Span, HISTOGRAM_BUCKETS};
-pub use registry::Registry;
+pub use registry::{Registry, Scoped};
 pub use snapshot::{HistogramSnapshot, Snapshot};
 
 use std::sync::atomic::{AtomicU8, Ordering};

@@ -108,6 +108,19 @@ impl Registry {
         )
     }
 
+    /// A name-prefixing view of this registry for per-instance metric
+    /// families: every metric created through the returned [`Scoped`] is
+    /// registered as `<prefix>.<name>`.
+    ///
+    /// Shards, workers, and other replicated subsystems use this to get
+    /// distinct metric series (`net.shard0.rx_datagrams`,
+    /// `net.shard1.rx_datagrams`, ...) without threading format strings
+    /// through every call site. The view borrows the registry; handles it
+    /// returns are plain `Arc`s and outlive it.
+    pub fn scoped(&self, prefix: impl Into<String>) -> Scoped<'_> {
+        Scoped { registry: self, prefix: prefix.into() }
+    }
+
     /// Captures every metric's current value.
     pub fn snapshot(&self) -> Snapshot {
         let metrics = self.metrics.lock().expect("registry lock poisoned");
@@ -126,6 +139,51 @@ impl Registry {
             }
         }
         snap
+    }
+}
+
+/// A prefix-applying view of a [`Registry`], from [`Registry::scoped`].
+///
+/// Metric names pass through as `<prefix>.<name>`; registration semantics
+/// (idempotence, kind-mismatch panics) are the underlying registry's.
+pub struct Scoped<'r> {
+    registry: &'r Registry,
+    prefix: String,
+}
+
+impl Scoped<'_> {
+    /// The scope's name prefix (without the trailing separator).
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    fn full(&self, name: &str) -> String {
+        let mut full = String::with_capacity(self.prefix.len() + 1 + name.len());
+        full.push_str(&self.prefix);
+        full.push('.');
+        full.push_str(name);
+        full
+    }
+
+    /// The counter registered under `<prefix>.<name>`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.registry.counter(&self.full(name))
+    }
+
+    /// The gauge registered under `<prefix>.<name>`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.registry.gauge(&self.full(name))
+    }
+
+    /// The histogram registered under `<prefix>.<name>`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.registry.histogram(&self.full(name))
+    }
+}
+
+impl std::fmt::Debug for Scoped<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scoped").field("prefix", &self.prefix).finish()
     }
 }
 
@@ -169,5 +227,22 @@ mod tests {
         assert_eq!(s.gauge("g"), Some(1.5));
         assert_eq!(s.histogram("h").map(|h| h.count), Some(1));
         assert_eq!(s.counter("missing"), None);
+    }
+
+    #[test]
+    fn scoped_prefixes_names_and_shares_handles() {
+        crate::set_enabled(true);
+        let r = Registry::new();
+        let shard = r.scoped("net.shard0");
+        shard.counter("rx").add(2);
+        // The scoped handle and the fully-qualified name are the same metric.
+        r.counter("net.shard0.rx").inc();
+        assert_eq!(r.snapshot().counter("net.shard0.rx"), Some(3));
+        assert_eq!(shard.prefix(), "net.shard0");
+        shard.gauge("depth").set(1.0);
+        shard.histogram("lag").record(5);
+        let s = r.snapshot();
+        assert_eq!(s.gauge("net.shard0.depth"), Some(1.0));
+        assert_eq!(s.histogram("net.shard0.lag").map(|h| h.count), Some(1));
     }
 }

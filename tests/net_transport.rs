@@ -7,9 +7,11 @@
 //! retransmission path in the transport to fall back on.
 
 use extreme_nc::net::channel::{memory_pair, Channel, FaultProfile, FaultyChannel, UdpChannel};
-use extreme_nc::net::receiver::{run_receiver, ReceiverConfig, ReceiverSession};
+use extreme_nc::net::receiver::{run_receiver, ReceiverConfig, ReceiverEvent, ReceiverSession};
 use extreme_nc::net::sender::send_stream;
+use extreme_nc::net::server::ServerConfig;
 use extreme_nc::net::session::{SenderConfig, SenderOutcome, SenderReport};
+use extreme_nc::net::shard::{ShardedServer, ShardedServerConfig};
 use extreme_nc::net::wire::Datagram;
 use extreme_nc::rlnc::stream::{StreamEncoder, StreamFrame};
 use extreme_nc::rlnc::CodingConfig;
@@ -301,6 +303,110 @@ proptest! {
             session.handle_bytes(bytes, Instant::now());
         }
         let _ = session.report();
+    }
+}
+
+/// Binds loopback sockets until one lands on a port whose `(peer,
+/// session)` hash maps to `shard`, so a test can force co-residency.
+fn socket_on_shard(
+    server: std::net::SocketAddr,
+    session: u64,
+    shards: usize,
+    shard: usize,
+) -> std::net::UdpSocket {
+    loop {
+        let socket = std::net::UdpSocket::bind("127.0.0.1:0").expect("bind");
+        let addr = socket.local_addr().expect("addr");
+        if extreme_nc::net::shard::shard_owner(addr, session, shards) == shard {
+            socket.connect(server).expect("connect");
+            return socket;
+        }
+    }
+}
+
+/// A deliberately slow receiver driver: `run_receiver`'s loop with a
+/// sleep after every handled datagram, modelling a peer whose feedback
+/// and decode lag far behind the wire.
+fn slow_receive(socket: std::net::UdpSocket, session: u64, delay: Duration) -> Option<Vec<u8>> {
+    let mut channel = UdpChannel::from_socket(socket);
+    let mut rx = ReceiverSession::new(session, receiver_config(), Instant::now());
+    loop {
+        match rx.poll(Instant::now()) {
+            ReceiverEvent::Transmit(bytes) => {
+                channel.send(&bytes).expect("send feedback");
+                while let Some(incoming) = channel.recv_timeout(Duration::ZERO).expect("drain") {
+                    rx.handle_bytes(&incoming, Instant::now());
+                    std::thread::sleep(delay);
+                }
+            }
+            ReceiverEvent::Wait(timeout) => {
+                if let Some(incoming) = channel.recv_timeout(timeout).expect("recv") {
+                    rx.handle_bytes(&incoming, Instant::now());
+                    std::thread::sleep(delay);
+                }
+            }
+            ReceiverEvent::Finished => return rx.into_recovered(),
+        }
+    }
+}
+
+/// §5.1.1 fairness: one fast and one artificially slow receiver pinned to
+/// the *same* shard. `burst_per_step` bounds how many frames the fast
+/// peer can grab per scheduling step, so the slow transfer still
+/// completes bit-exact instead of starving behind the fast one — and the
+/// per-transfer `session.max_burst_per_step` metric proves the bound
+/// held.
+#[test]
+fn same_shard_fast_and_slow_receivers_share_fairly() {
+    const SESSION: u64 = 21;
+    const SHARDS: usize = 2;
+    const BURST: u32 = 8;
+
+    let coding = CodingConfig::new(8, 256).expect("valid");
+    let data = payload(96_000);
+    let encoder = Arc::new(StreamEncoder::new(coding, &data).expect("non-empty"));
+
+    let config = ShardedServerConfig {
+        shards: SHARDS,
+        server: ServerConfig { burst_per_step: BURST, ..ServerConfig::default() },
+        ..ShardedServerConfig::default()
+    };
+    let mut server = ShardedServer::bind("127.0.0.1:0", config).expect("bind group");
+    server.publish(SESSION, encoder);
+    let addr = server.local_addr().expect("addr");
+
+    // Both receivers hash to shard 0: they compete for the same loop.
+    let fast_socket = socket_on_shard(addr, SESSION, SHARDS, 0);
+    let slow_socket = socket_on_shard(addr, SESSION, SHARDS, 0);
+
+    let fast = std::thread::spawn(move || {
+        let mut channel = UdpChannel::from_socket(fast_socket);
+        let mut rx = ReceiverSession::new(SESSION, receiver_config(), Instant::now());
+        run_receiver(&mut channel, &mut rx).expect("fast receiver");
+        rx.into_recovered()
+    });
+    let slow =
+        std::thread::spawn(move || slow_receive(slow_socket, SESSION, Duration::from_millis(2)));
+
+    let transfers = server.serve(2, Duration::from_secs(60)).expect("serve");
+
+    assert_eq!(fast.join().expect("fast thread").as_deref(), Some(data.as_slice()), "fast exact");
+    assert_eq!(
+        slow.join().expect("slow thread").as_deref(),
+        Some(data.as_slice()),
+        "slow transfer completes despite a fast competitor on its shard"
+    );
+    assert_eq!(transfers.len(), 2, "both transfers reaped");
+    for t in &transfers {
+        assert_eq!(t.shard, 0, "co-resident by construction");
+        assert_eq!(
+            t.shard,
+            extreme_nc::net::shard::shard_owner(t.peer, t.session, SHARDS),
+            "served by its owner"
+        );
+        let burst = t.metrics.counter("session.max_burst_per_step").expect("burst metric attached");
+        assert!(burst <= u64::from(BURST), "burst bound held: {burst} > {BURST}");
+        assert!(burst > 0, "burst metric records real steps");
     }
 }
 
