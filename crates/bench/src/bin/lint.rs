@@ -9,9 +9,10 @@
 //!   must go through `nc_pool::Pool` or `nc_check::thread`, or every
 //!   schedule the model checker explores is missing those threads.
 //! * **vec-capacity** — bare `Vec::with_capacity` in the net/coding hot
-//!   paths (`crates/net/src`, `crates/core/src`). Per-frame buffers must
-//!   come from `BytesPool`/`BlockArena` so the recycling edges added for
-//!   the transport keep steady-state traffic allocation-free.
+//!   paths (`crates/net/src`, `crates/core/src`, `crates/fft/src`).
+//!   Per-frame and per-shard buffers must come from
+//!   `BytesPool`/`BlockArena` so the recycling edges added for the
+//!   transport keep steady-state traffic allocation-free.
 //! * **relaxed-invariant** — `Ordering::Relaxed` on an atomic named in a
 //!   checked invariant (`pending`, `outstanding`, `retained`, `cursor`,
 //!   `frames_sent`, `peer_received`). The nc-check models verify these
@@ -62,7 +63,11 @@ const RULES: [Rule; 4] = [
         name: "vec-capacity",
         explain: "bare Vec::with_capacity in a net/coding hot path — take the buffer from \
                   BytesPool/BlockArena so transport recycling keeps it allocation-free",
-        applies: |path| path.starts_with("crates/net/src/") || path.starts_with("crates/core/src/"),
+        applies: |path| {
+            path.starts_with("crates/net/src/")
+                || path.starts_with("crates/core/src/")
+                || path.starts_with("crates/fft/src/")
+        },
         matches: |code| code.contains("Vec::with_capacity"),
     },
     Rule {

@@ -210,7 +210,7 @@ fn main() {
     let mut baseline_server =
         Server::bind("127.0.0.1:0", server_config.clone()).expect("bind baseline");
     for id in 0..sessions as u64 {
-        baseline_server.publish(id, Arc::clone(&encoder));
+        baseline_server.publish(id, encoder.clone());
     }
     let addr = baseline_server.local_addr().expect("addr");
     let baseline = run_phase(
@@ -229,7 +229,7 @@ fn main() {
     let mut sharded_server =
         ShardedServer::bind("127.0.0.1:0", sharded_config).expect("bind sharded");
     for id in 0..sessions as u64 {
-        sharded_server.publish(id, Arc::clone(&encoder));
+        sharded_server.publish(id, encoder.clone());
     }
     let addr = sharded_server.local_addr().expect("addr");
     let sharded = run_phase(

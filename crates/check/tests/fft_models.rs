@@ -1,0 +1,71 @@
+//! Checked models of `nc-fft`'s codec-table initialization.
+//!
+//! The GF(2^16) log/exp/skew tables are ~400 KiB built once per process
+//! behind [`nc_fft::cell::TableCell`], a double-checked mutex with an
+//! `AtomicBool` fast flag written against the `nc_check::sync` shims.
+//! These models run the *real* cell type — not a re-implementation —
+//! through every schedule the checker explores: the builder must run
+//! exactly once, every thread must observe the same fully-built value,
+//! and a reader that takes the fast path (flag already `true`) must see
+//! the slot write the flag's Release store published.
+
+#![cfg(nc_check)]
+
+use nc_check::sync::atomic::{AtomicUsize, Ordering};
+use nc_check::sync::Arc;
+use nc_check::thread;
+use nc_check::Check;
+use nc_fft::cell::TableCell;
+
+/// Two threads race the first `get`: exactly one builder runs, and both
+/// threads end up holding the *same* allocation (Arc pointer equality,
+/// checked via the shared value address), fully initialized.
+#[test]
+fn concurrent_first_get_builds_exactly_once() {
+    Check::new().preemptions(2).run(|| {
+        let cell = Arc::new(TableCell::new());
+        let ran = Arc::new(AtomicUsize::new(0));
+
+        let cell2 = Arc::clone(&cell);
+        let ran2 = Arc::clone(&ran);
+        let racer = thread::spawn(move || {
+            let table = cell2.get(|| {
+                ran2.fetch_add(1, Ordering::AcqRel);
+                // Stand-in for the table build: a multi-word value so a
+                // torn/unpublished write would be observable.
+                [0xA5A5u16; 8]
+            });
+            assert!(table.iter().all(|&w| w == 0xA5A5), "partially built table observed");
+            Arc::as_ptr(&table) as usize
+        });
+        let table = cell.get(|| {
+            ran.fetch_add(1, Ordering::AcqRel);
+            [0xA5A5u16; 8]
+        });
+        assert!(table.iter().all(|&w| w == 0xA5A5), "partially built table observed");
+        let other = racer.join().unwrap();
+
+        assert_eq!(Arc::as_ptr(&table) as usize, other, "threads saw different tables");
+        assert_eq!(ran.load(Ordering::Acquire), 1, "builder ran more than once");
+        assert_eq!(cell.builds(), 1, "cell's own build counter disagrees");
+    });
+}
+
+/// A reader arriving after initialization (fast path: `ready` flag load
+/// only) races a first-time builder. Whatever the interleaving, the
+/// reader gets the one built value — never a default, never a rebuild.
+#[test]
+fn late_reader_sees_the_one_built_table() {
+    Check::new().preemptions(2).run(|| {
+        let cell = Arc::new(TableCell::new());
+
+        let cell2 = Arc::clone(&cell);
+        let builder = thread::spawn(move || *cell2.get(|| 42u64));
+        let seen = *cell.get(|| 42u64);
+        let built = builder.join().unwrap();
+
+        assert_eq!(seen, 42, "reader observed an unbuilt value");
+        assert_eq!(built, 42);
+        assert_eq!(cell.builds(), 1, "second get rebuilt the tables");
+    });
+}

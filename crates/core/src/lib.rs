@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod block;
+pub mod codec;
 pub mod coeff;
 pub mod decoder;
 pub mod encoder;
@@ -66,6 +67,7 @@ pub mod stream;
 pub mod two_stage;
 
 pub use block::CodedBlock;
+pub use codec::{CodecId, ErasureCodec, StreamCodecReceiver, StreamCodecSender};
 pub use coeff::CoefficientRng;
 pub use decoder::Decoder;
 pub use encoder::Encoder;

@@ -235,6 +235,12 @@ impl StreamDecoder {
         self.decoders.iter().filter(|d| d.is_complete()).count()
     }
 
+    /// Whether one specific segment is fully decoded (out-of-range reads
+    /// as false).
+    pub fn segment_complete(&self, segment: usize) -> bool {
+        self.decoders.get(segment).is_some_and(Decoder::is_complete)
+    }
+
     /// Whether every segment is decoded.
     pub fn is_complete(&self) -> bool {
         self.decoders.iter().all(|d| d.is_complete())

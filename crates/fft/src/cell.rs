@@ -1,0 +1,102 @@
+//! The once-cell the codec tables live behind, built on `nc-check`'s shim
+//! primitives so concurrent initialization is *model-checkable*.
+//!
+//! `std::sync::OnceLock` would do the job in production, but nc-check does
+//! not instrument it ("OnceLock initialization races are not explored" —
+//! see that crate's docs), and the whole point of the satellite task is a
+//! checked model of "skew/log tables built once, visible to all threads".
+//! So the cell is a double-checked mutex with an `AtomicBool` fast flag,
+//! written against `nc_check::sync`: a transparent std build normally, a
+//! deterministically explored one under `RUSTFLAGS="--cfg nc_check"`
+//! (`crates/check/tests/fft_models.rs` runs the real type through the
+//! scheduler).
+//!
+//! The value is handed out as an [`Arc`]: callers fetch once (codec
+//! construction, transform entry) and hold the clone, so the hot paths
+//! never touch the mutex again.
+
+use nc_check::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use nc_check::sync::{Arc, Mutex};
+
+/// A build-once cell: the first `get` under contention builds the value
+/// exactly once, every `get` returns the same [`Arc`].
+#[derive(Debug)]
+pub struct TableCell<T> {
+    /// Fast flag: `true` only after the slot holds the built value. The
+    /// Release store pairs with the Acquire load so a reader that sees
+    /// `true` also sees the slot write (enforced by the mutex anyway; the
+    /// flag only skips taking it before first initialization completes).
+    ready: AtomicBool,
+    slot: Mutex<Option<Arc<T>>>,
+    builds: AtomicUsize,
+}
+
+impl<T> Default for TableCell<T> {
+    fn default() -> TableCell<T> {
+        TableCell::new()
+    }
+}
+
+impl<T> TableCell<T> {
+    /// An empty cell.
+    pub const fn new() -> TableCell<T> {
+        TableCell {
+            ready: AtomicBool::new(false),
+            slot: Mutex::new(None),
+            builds: AtomicUsize::new(0),
+        }
+    }
+
+    /// The cell's value, building it with `build` if this is the first
+    /// call. Exactly one caller ever runs `build`; everyone gets clones of
+    /// the same [`Arc`].
+    pub fn get(&self, build: impl FnOnce() -> T) -> Arc<T> {
+        if !self.ready.load(Ordering::Acquire) {
+            let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+            if slot.is_none() {
+                self.builds.fetch_add(1, Ordering::AcqRel);
+                *slot = Some(Arc::new(build()));
+                self.ready.store(true, Ordering::Release);
+            }
+            return Arc::clone(slot.as_ref().expect("slot filled above"));
+        }
+        let slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(slot.as_ref().expect("ready implies filled"))
+    }
+
+    /// How many times a builder actually ran (the built-once invariant the
+    /// model checker asserts: this never exceeds 1).
+    pub fn builds(&self) -> usize {
+        self.builds.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(all(test, not(nc_check)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_once_and_shares() {
+        let cell = TableCell::new();
+        let a = cell.get(|| vec![1u16, 2, 3]);
+        let b = cell.get(|| unreachable!("second get must not rebuild"));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cell.builds(), 1);
+    }
+
+    #[test]
+    fn concurrent_gets_build_exactly_once() {
+        let cell = Arc::new(TableCell::new());
+        let values: Vec<usize> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let cell = Arc::clone(&cell);
+                    s.spawn(move || *cell.get(|| 41usize + 1))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(values.iter().all(|&v| v == 42));
+        assert_eq!(cell.builds(), 1);
+    }
+}

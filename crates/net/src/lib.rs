@@ -17,6 +17,7 @@
 //! | Module | Role |
 //! |---|---|
 //! | [`wire`] | versioned datagram codec: magic, session ids, CRC-32, typed payloads |
+//! | [`codecs`] | coding-backend registry: the announce's codec id → dense RLNC or FFT16 |
 //! | [`channel`] | the I/O seam: sockets, memory pairs, fault injection |
 //! | [`pacing`] | token-bucket wire pacing + adaptive redundancy control |
 //! | [`session`] | sans-I/O rateless sender state machine |
@@ -68,6 +69,7 @@
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod codecs;
 mod metrics;
 pub mod pacing;
 pub mod receiver;
@@ -82,7 +84,9 @@ pub use channel::{
     memory_pair, BatchSocket, Channel, FaultProfile, FaultStats, FaultyChannel, MemoryChannel,
     UdpChannel,
 };
+pub use codecs::{codec_for, make_sender};
 pub use nc_pool::PooledBuf;
+pub use nc_rlnc::codec::CodecId;
 pub use receiver::{
     run_receiver, ReceiverConfig, ReceiverOutcome, ReceiverReport, ReceiverSession,
 };

@@ -2,20 +2,22 @@
 //! into a decoded stream, plus a blocking driver over any
 //! [`Channel`](crate::channel::Channel).
 //!
-//! The receiver requests the stream, learns its shape from the announce,
-//! absorbs coded frames into an [`StreamDecoder`], and feeds completion
+//! The receiver requests the stream, learns its shape *and coding
+//! backend* from the announce (see [`crate::codecs`]), absorbs coded
+//! frames into the negotiated [`StreamCodecReceiver`], and feeds completion
 //! back: small ACK datagrams carrying cumulative counters and a
 //! per-segment bitmap (so the sender stops spending encode budget on
 //! finished segments), then a FIN burst once the stream is bit-exact.
 //! Corrupted, truncated, alien, and replayed datagrams are counted and
 //! dropped — never trusted.
 
-use nc_rlnc::stream::{StreamDecoder, StreamFrame};
+use nc_rlnc::codec::StreamCodecReceiver;
 use nc_rlnc::CodingConfig;
 use std::io;
 use std::time::{Duration, Instant};
 
 use crate::channel::Channel;
+use crate::codecs::codec_for;
 use crate::wire::{Datagram, Payload, SegmentBitmap, StreamMeta, WireError};
 
 /// Tuning knobs for a receiver session.
@@ -98,10 +100,11 @@ enum State {
         last_request: Option<Instant>,
     },
     Receiving {
-        coding: CodingConfig,
-        decoder: StreamDecoder,
+        /// The announce's negotiated backend, behind the codec seam: dense
+        /// RLNC Gauss-Jordan or FFT16 erasure decode, the session can't
+        /// tell.
+        decoder: Box<dyn StreamCodecReceiver>,
         completed: SegmentBitmap,
-        innovative_per_segment: Vec<usize>,
     },
     Done {
         data: Vec<u8>,
@@ -332,53 +335,49 @@ impl ReceiverSession {
             return;
         };
         let segments = meta.total_segments as usize;
-        self.state = State::Receiving {
-            coding,
-            decoder: StreamDecoder::new(coding, segments, meta.original_len as usize),
-            completed: SegmentBitmap::new(segments),
-            innovative_per_segment: vec![0; segments],
+        // The announce names the backend; the registry builds its
+        // receiving half. A shape the backend rejects (e.g. an odd block
+        // size under a GF(2^16) codec) is a malformed announce.
+        let Ok(decoder) =
+            codec_for(meta.codec).make_receiver(coding, segments, meta.original_len as usize)
+        else {
+            self.malformed += 1;
+            return;
         };
+        self.state = State::Receiving { decoder, completed: SegmentBitmap::new(segments) };
     }
 
     fn handle_frame(&mut self, frame_bytes: &[u8], now: Instant) {
-        let State::Receiving { coding, decoder, completed, innovative_per_segment } =
-            &mut self.state
-        else {
+        let State::Receiving { decoder, completed } = &mut self.state else {
             if matches!(self.state, State::AwaitAnnounce { .. }) {
                 self.pre_announce += 1;
             }
             return; // Done: late frames are ignored
         };
-        let frame = match StreamFrame::from_wire(*coding, frame_bytes) {
-            Ok(frame) => frame,
+        let absorbed = match decoder.absorb(frame_bytes) {
+            Ok(absorbed) => absorbed,
             Err(_) => {
                 self.malformed += 1;
                 return;
             }
         };
-        let segment = frame.segment as usize;
         if self.first_data_at.is_none() {
             self.first_data_at = Some(now);
         }
         self.received += 1;
         self.since_ack += 1;
-        match decoder.push(frame) {
-            Ok(true) => {
-                self.innovative += 1;
-                innovative_per_segment[segment] += 1;
-                if innovative_per_segment[segment] == coding.blocks() {
-                    completed.set(segment);
-                    self.ack_pending = true; // tell the sender immediately
-                    if decoder.is_complete() {
-                        let data = decoder.recover().expect("complete stream recovers");
-                        self.completed_at = Some(now);
-                        self.ack_pending = false;
-                        self.state = State::Done { data, fins_sent: 0 };
-                    }
-                }
+        if absorbed.innovative {
+            self.innovative += 1;
+        }
+        if absorbed.segment_complete {
+            completed.set(absorbed.segment);
+            self.ack_pending = true; // tell the sender immediately
+            if decoder.is_complete() {
+                let data = decoder.recover().expect("complete stream recovers");
+                self.completed_at = Some(now);
+                self.ack_pending = false;
+                self.state = State::Done { data, fins_sent: 0 };
             }
-            Ok(false) => {} // non-innovative: counted via received - innovative
-            Err(_) => self.malformed += 1, // out-of-range segment index etc.
         }
     }
 }
@@ -428,6 +427,8 @@ pub fn run_receiver<C: Channel>(
 mod tests {
     use super::*;
 
+    use nc_rlnc::codec::CodecId;
+
     fn announce() -> Datagram {
         Datagram::new(
             5,
@@ -436,6 +437,7 @@ mod tests {
                 block_size: 16,
                 total_segments: 2,
                 original_len: 100,
+                codec: CodecId::DenseRlnc,
             }),
         )
     }
@@ -463,6 +465,7 @@ mod tests {
                 block_size: u32::MAX,
                 total_segments: u32::MAX,
                 original_len: u64::MAX,
+                codec: CodecId::DenseRlnc,
             }),
         );
         r.handle_bytes(&hostile.encode().unwrap(), t0);
@@ -472,6 +475,41 @@ mod tests {
             panic!("expected request retry")
         };
         assert!(matches!(Datagram::decode(&bytes).unwrap().payload, Payload::Request));
+    }
+
+    #[test]
+    fn fft_announce_with_a_shape_its_backend_rejects_is_malformed() {
+        // GF(2^16) codecs need an even block size; the dense default does
+        // not. The codec seam must route shape validation to the
+        // negotiated backend, not a one-size-fits-all check.
+        let t0 = Instant::now();
+        let mut r = ReceiverSession::new(5, ReceiverConfig::default(), t0);
+        let odd = Datagram::new(
+            5,
+            Payload::Announce(StreamMeta {
+                blocks: 4,
+                block_size: 15,
+                total_segments: 2,
+                original_len: 100,
+                codec: CodecId::Fft16,
+            }),
+        );
+        r.handle_bytes(&odd.encode().unwrap(), t0);
+        assert_eq!(r.report().malformed, 1);
+        // The same shape under dense RLNC is fine.
+        let mut ok = ReceiverSession::new(5, ReceiverConfig::default(), t0);
+        let dense = Datagram::new(
+            5,
+            Payload::Announce(StreamMeta {
+                blocks: 4,
+                block_size: 15,
+                total_segments: 2,
+                original_len: 100,
+                codec: CodecId::DenseRlnc,
+            }),
+        );
+        ok.handle_bytes(&dense.encode().unwrap(), t0);
+        assert_eq!(ok.report().malformed, 0);
     }
 
     #[test]

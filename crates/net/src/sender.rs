@@ -2,7 +2,7 @@
 //! [`Channel`](crate::channel::Channel): point-to-point file push over UDP
 //! (or an in-process pair) with rateless recovery.
 
-use nc_rlnc::stream::StreamEncoder;
+use nc_rlnc::codec::StreamCodecSender;
 use std::io;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -58,7 +58,7 @@ pub fn run_sender<C: Channel>(
 /// coded frame cannot fit a datagram, plus any channel I/O error.
 pub fn send_stream<C: Channel>(
     channel: &mut C,
-    encoder: Arc<StreamEncoder>,
+    encoder: Arc<dyn StreamCodecSender>,
     session_id: u64,
     config: SenderConfig,
     seed: u64,

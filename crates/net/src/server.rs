@@ -10,7 +10,7 @@
 //! pass through a seeded [`FaultInjector`] — the same fault model the
 //! in-process tests use, applied per-destination.
 
-use nc_rlnc::stream::StreamEncoder;
+use nc_rlnc::codec::StreamCodecSender;
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs};
@@ -81,7 +81,7 @@ pub struct ServedTransfer {
 pub struct Server {
     socket: BatchSocket,
     config: ServerConfig,
-    content: HashMap<u64, Arc<StreamEncoder>>,
+    content: HashMap<u64, Arc<dyn StreamCodecSender>>,
     sessions: HashMap<(SocketAddr, u64), SenderSession>,
     /// Largest single-step burst each live session has emitted.
     burst_max: HashMap<(SocketAddr, u64), u64>,
@@ -130,8 +130,9 @@ impl Server {
     }
 
     /// Publishes a stream under `session` id; subsequent `Request`s for it
-    /// spawn sender sessions.
-    pub fn publish(&mut self, session: u64, encoder: Arc<StreamEncoder>) {
+    /// spawn sender sessions. Any codec backend works — the announce
+    /// carries its id, so receivers build the matching decoder.
+    pub fn publish(&mut self, session: u64, encoder: Arc<dyn StreamCodecSender>) {
         self.content.insert(session, encoder);
     }
 
@@ -308,6 +309,7 @@ mod tests {
     use super::*;
     use crate::channel::UdpChannel;
     use crate::receiver::{run_receiver, ReceiverConfig, ReceiverSession};
+    use nc_rlnc::stream::StreamEncoder;
     use nc_rlnc::CodingConfig;
     use std::net::UdpSocket;
 
@@ -329,7 +331,7 @@ mod tests {
     fn serves_two_concurrent_receivers_from_one_socket() {
         let (encoder, data) = stream(40_000, |i| (i % 241) as u8);
         let mut server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
-        server.publish(9, Arc::clone(&encoder));
+        server.publish(9, encoder.clone());
         let addr = server.local_addr().unwrap();
 
         let handles: Vec<_> =

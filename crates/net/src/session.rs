@@ -16,7 +16,7 @@
 
 use nc_check::sync::atomic::{AtomicU64, Ordering};
 use nc_check::sync::Arc;
-use nc_rlnc::stream::StreamEncoder;
+use nc_rlnc::codec::StreamCodecSender;
 use nc_telemetry::{Histogram, Snapshot};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -202,10 +202,9 @@ impl WindowCounters {
 }
 
 /// The sans-I/O rateless sender state machine (see module docs).
-#[derive(Debug)]
 pub struct SenderSession {
     session: u64,
-    encoder: Arc<StreamEncoder>,
+    encoder: Arc<dyn StreamCodecSender>,
     config: SenderConfig,
     rng: StdRng,
     bucket: TokenBucket,
@@ -235,23 +234,35 @@ pub struct SenderSession {
     pacing_waits: Histogram,
 }
 
+impl std::fmt::Debug for SenderSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SenderSession")
+            .field("session", &self.session)
+            .field("codec", &self.encoder.codec())
+            .field("outcome", &self.outcome)
+            .finish_non_exhaustive()
+    }
+}
+
 impl SenderSession {
     /// Builds a session serving `encoder`'s stream under `session` id.
-    /// Deterministic for a fixed `(encoder, seed)` pair.
+    /// Deterministic for a fixed `(encoder, seed)` pair. Any
+    /// [`StreamCodecSender`] backend works — the session never looks past
+    /// the trait.
     ///
     /// # Errors
     ///
     /// [`WireError::TooLarge`] if one coded frame cannot fit a UDP
     /// datagram under this coding configuration.
     pub fn new(
-        encoder: Arc<StreamEncoder>,
+        encoder: Arc<dyn StreamCodecSender>,
         session: u64,
         config: SenderConfig,
         seed: u64,
         now: Instant,
     ) -> Result<SenderSession, WireError> {
-        let coding = encoder.config();
-        let data_datagram_bytes = HEADER_BYTES + 8 + coding.coded_block_bytes();
+        let coding = encoder.coding_config();
+        let data_datagram_bytes = HEADER_BYTES + encoder.frame_wire_bytes();
         if data_datagram_bytes > MAX_DATAGRAM_BYTES {
             return Err(WireError::TooLarge { needed: data_datagram_bytes });
         }
@@ -308,12 +319,13 @@ impl SenderSession {
 
     /// The stream shape this session announces.
     pub fn meta(&self) -> StreamMeta {
-        let coding = self.encoder.config();
+        let coding = self.encoder.coding_config();
         StreamMeta {
             blocks: coding.blocks() as u32,
             block_size: coding.block_size() as u32,
             total_segments: self.encoder.total_segments() as u32,
             original_len: self.encoder.original_len() as u64,
+            codec: self.encoder.codec(),
         }
     }
 
@@ -408,8 +420,9 @@ impl SenderSession {
                     self.record_pacing_wait(wait);
                     return SenderEvent::Wait(wait);
                 }
-                let frame = self.encoder.frame_for(segment, &mut self.rng);
-                let bytes = Datagram::new(self.session, Payload::Data(frame.to_wire()))
+                let frame =
+                    self.encoder.frame_wire(segment, self.sent_per_segment[segment], &mut self.rng);
+                let bytes = Datagram::new(self.session, Payload::Data(frame))
                     .encode()
                     .expect("frame size was validated at construction");
                 self.sent_per_segment[segment] += 1;
@@ -510,6 +523,10 @@ impl SenderSession {
         }
         snap.gauges.insert("session.loss_estimate".to_string(), report.loss_estimate);
         snap.gauges.insert("session.redundancy_factor".to_string(), report.redundancy_factor);
+        // The negotiated backend, as its wire id (0 = dense RLNC,
+        // 1 = FFT16) — lets `--telemetry-json` consumers split per-codec.
+        snap.gauges
+            .insert("session.codec_id".to_string(), f64::from(self.encoder.codec().to_wire()));
         if let Some(goodput) = report.goodput_bytes_per_s() {
             snap.gauges.insert("session.goodput_bytes_per_s".to_string(), goodput);
         }
@@ -581,7 +598,7 @@ impl SenderSession {
     /// need more than their share are topped up by later ACKs as the
     /// deficit re-emerges.
     fn regrant_budgets(&mut self) {
-        let blocks = self.encoder.config().blocks() as u64;
+        let blocks = self.encoder.coding_config().blocks() as u64;
         let needed_total = blocks * self.encoder.total_segments() as u64;
         let remaining = needed_total.saturating_sub(self.peer_innovative) as f64;
         let incomplete = (self.completed.len() - self.completed.count_complete()) as u64;
@@ -610,6 +627,7 @@ impl SenderSession {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nc_rlnc::stream::StreamEncoder;
     use nc_rlnc::CodingConfig;
 
     fn encoder() -> Arc<StreamEncoder> {

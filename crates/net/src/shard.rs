@@ -35,7 +35,7 @@
 
 use nc_check::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use nc_check::sync::{Arc, Mutex};
-use nc_rlnc::stream::StreamEncoder;
+use nc_rlnc::codec::StreamCodecSender;
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs};
@@ -150,7 +150,7 @@ impl FinishLedger {
 
 /// State shared (read-mostly) by every shard for one serve call.
 struct ServeShared {
-    content: HashMap<u64, Arc<StreamEncoder>>,
+    content: HashMap<u64, Arc<dyn StreamCodecSender>>,
     mailboxes: Vec<Mailbox>,
     ledger: FinishLedger,
     /// Process-unique session seeds (sender RNG streams must differ).
@@ -172,7 +172,7 @@ impl ServeShared {
 pub struct ShardedServer {
     config: ShardedServerConfig,
     sockets: Vec<BatchSocket>,
-    content: HashMap<u64, Arc<StreamEncoder>>,
+    content: HashMap<u64, Arc<dyn StreamCodecSender>>,
 }
 
 impl ShardedServer {
@@ -208,8 +208,9 @@ impl ShardedServer {
         self.sockets.len()
     }
 
-    /// Publishes a stream under `session` id (before serving).
-    pub fn publish(&mut self, session: u64, encoder: Arc<StreamEncoder>) {
+    /// Publishes a stream under `session` id (before serving). Any codec
+    /// backend works — the announce carries its id.
+    pub fn publish(&mut self, session: u64, encoder: Arc<dyn StreamCodecSender>) {
         self.content.insert(session, encoder);
     }
 
@@ -474,6 +475,7 @@ mod tests {
     use super::*;
     use crate::channel::UdpChannel;
     use crate::receiver::{run_receiver, ReceiverConfig, ReceiverSession};
+    use nc_rlnc::stream::StreamEncoder;
     use nc_rlnc::CodingConfig;
 
     fn stream(len: usize, fill: impl Fn(usize) -> u8) -> (Arc<StreamEncoder>, Vec<u8>) {
@@ -510,7 +512,7 @@ mod tests {
         let (encoder, data) = stream(60_000, |i| (i % 239) as u8);
         let config = ShardedServerConfig { shards: 4, ..ShardedServerConfig::default() };
         let mut server = ShardedServer::bind("127.0.0.1:0", config).unwrap();
-        server.publish(5, Arc::clone(&encoder));
+        server.publish(5, encoder.clone());
         let addr = server.local_addr().unwrap();
 
         let handles: Vec<_> = (0..6)

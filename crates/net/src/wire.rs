@@ -5,7 +5,7 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic  = b"NCNC"
-//!      4     1  version = 1
+//!      4     1  version = 2 (1 still accepted on decode)
 //!      5     1  kind    (Request/Announce/Data/Ack/Fin)
 //!      6     2  flags   (LE, reserved, must decode even if non-zero)
 //!      8     8  session id (LE)
@@ -13,17 +13,28 @@
 //!     20     …  payload (layout per kind)
 //! ```
 //!
+//! Version history: v1 announces carried only the stream shape (20 bytes)
+//! and implied dense RLNC; v2 appends one codec-id byte ([`CodecId`]) so
+//! the coding backend is negotiated per stream. Decode accepts both — a
+//! v1 announce maps to [`CodecId::DenseRlnc`] — but always encodes v2.
+//! An announce whose codec byte this build does not know is rejected with
+//! [`WireError::UnknownCodec`], never a panic.
+//!
 //! Decoding is total: any byte string — truncated, bit-flipped, alien
 //! protocol, hostile lengths — returns a [`WireError`], never panics, and
 //! never yields a datagram whose bytes were corrupted (the checksum covers
 //! header and payload).
 
 use core::fmt;
+use nc_rlnc::codec::CodecId;
 
 /// First bytes of every datagram.
 pub const MAGIC: [u8; 4] = *b"NCNC";
-/// Current protocol version.
-pub const VERSION: u8 = 1;
+/// Current protocol version (always emitted; see `OLDEST_VERSION`).
+pub const VERSION: u8 = 2;
+/// Oldest version still accepted on decode (v1 = pre-codec-negotiation;
+/// its announces imply dense RLNC).
+pub const OLDEST_VERSION: u8 = 1;
 /// Header bytes before the payload.
 pub const HEADER_BYTES: usize = 20;
 /// Largest datagram this transport will emit (UDP/IPv4 payload ceiling).
@@ -83,6 +94,13 @@ pub enum WireError {
         /// Which advertised field is out of range.
         field: &'static str,
     },
+    /// An announce names a coding backend this build does not implement.
+    /// Distinct from [`WireError::MalformedPayload`] so drivers can log a
+    /// "peer is newer than me" hint instead of a generic parse failure.
+    UnknownCodec {
+        /// Codec-id byte found on the wire.
+        found: u8,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -103,6 +121,9 @@ impl fmt::Display for WireError {
             }
             WireError::LimitExceeded { field } => {
                 write!(f, "announced {field} exceeds the sanity cap")
+            }
+            WireError::UnknownCodec { found } => {
+                write!(f, "announce names unknown codec id {found}")
             }
         }
     }
@@ -152,6 +173,9 @@ pub struct StreamMeta {
     pub total_segments: u32,
     /// Unpadded byte length of the stream.
     pub original_len: u64,
+    /// Coding backend the sender will frame data with (one byte on the
+    /// wire; absent in v1 announces, which imply dense RLNC).
+    pub codec: CodecId,
 }
 
 impl StreamMeta {
@@ -337,6 +361,7 @@ impl Datagram {
                 payload.extend_from_slice(&meta.block_size.to_le_bytes());
                 payload.extend_from_slice(&meta.total_segments.to_le_bytes());
                 payload.extend_from_slice(&meta.original_len.to_le_bytes());
+                payload.push(meta.codec.to_wire());
             }
             Payload::Data(frame) => payload.extend_from_slice(frame),
             Payload::Ack { received, innovative, completed } => {
@@ -377,8 +402,9 @@ impl Datagram {
         if bytes[0..4] != MAGIC {
             return Err(WireError::BadMagic);
         }
-        if bytes[4] != VERSION {
-            return Err(WireError::BadVersion { found: bytes[4] });
+        let version = bytes[4];
+        if !(OLDEST_VERSION..=VERSION).contains(&version) {
+            return Err(WireError::BadVersion { found: version });
         }
         let kind = bytes[5];
         let session = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
@@ -395,14 +421,20 @@ impl Datagram {
                 Payload::Request
             }
             2 => {
-                if payload.len() != 20 {
-                    return Err(WireError::MalformedPayload { kind: "announce" });
-                }
+                // v1 announces predate codec negotiation: 20 bytes, dense
+                // RLNC implied. v2 appends the one-byte codec id.
+                let codec = match (version, payload.len()) {
+                    (1, 20) => CodecId::DenseRlnc,
+                    (2, 21) => CodecId::from_wire(payload[20])
+                        .ok_or(WireError::UnknownCodec { found: payload[20] })?,
+                    _ => return Err(WireError::MalformedPayload { kind: "announce" }),
+                };
                 Payload::Announce(StreamMeta {
                     blocks: u32::from_le_bytes(payload[0..4].try_into().expect("4 bytes")),
                     block_size: u32::from_le_bytes(payload[4..8].try_into().expect("4 bytes")),
                     total_segments: u32::from_le_bytes(payload[8..12].try_into().expect("4 bytes")),
                     original_len: u64::from_le_bytes(payload[12..20].try_into().expect("8 bytes")),
+                    codec,
                 })
             }
             3 => Payload::Data(payload.to_vec()),
@@ -464,6 +496,7 @@ mod tests {
                     block_size: 1024,
                     total_segments: 4,
                     original_len: 100_000,
+                    codec: CodecId::Fft16,
                 }),
             ),
             Datagram::new(u64::MAX, Payload::Data(vec![1, 2, 3, 4, 5])),
@@ -521,9 +554,81 @@ mod tests {
             Datagram::decode(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n"),
             Err(WireError::BadMagic)
         );
-        let mut wire = Datagram::new(1, Payload::Request).encode().unwrap();
-        wire[4] = 2;
-        assert_eq!(Datagram::decode(&wire), Err(WireError::BadVersion { found: 2 }));
+        let wire = Datagram::new(1, Payload::Request).encode().unwrap();
+        for bad_version in [0u8, VERSION + 1, 0xFF] {
+            let mut bad = wire.clone();
+            bad[4] = bad_version;
+            assert_eq!(Datagram::decode(&bad), Err(WireError::BadVersion { found: bad_version }));
+        }
+    }
+
+    /// Builds a datagram by hand with an arbitrary version byte and raw
+    /// payload, CRC valid — what an old (or future) peer would emit.
+    fn raw_datagram(version: u8, kind: u8, session: u64, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.push(version);
+        out.push(kind);
+        out.extend_from_slice(&0u16.to_le_bytes());
+        out.extend_from_slice(&session.to_le_bytes());
+        let crc = datagram_crc(&out[0..16], payload);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+
+    fn announce_payload_v1() -> Vec<u8> {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&32u32.to_le_bytes()); // blocks
+        payload.extend_from_slice(&1024u32.to_le_bytes()); // block size
+        payload.extend_from_slice(&4u32.to_le_bytes()); // segments
+        payload.extend_from_slice(&100_000u64.to_le_bytes()); // original len
+        payload
+    }
+
+    #[test]
+    fn legacy_v1_announce_decodes_as_dense_rlnc() {
+        // A pre-codec-negotiation sender: version byte 1, 20-byte announce
+        // with no codec id. Must decode, defaulting to dense RLNC.
+        let wire = raw_datagram(1, 2, 9, &announce_payload_v1());
+        let datagram = Datagram::decode(&wire).unwrap();
+        let Payload::Announce(meta) = datagram.payload else { panic!("expected announce") };
+        assert_eq!(meta.codec, CodecId::DenseRlnc);
+        assert_eq!(meta.blocks, 32);
+        assert_eq!(meta.original_len, 100_000);
+        // Non-announce v1 datagrams (identical layout in both versions)
+        // also still parse.
+        let fin = raw_datagram(1, 5, 9, &[0u8; 16]);
+        assert!(matches!(Datagram::decode(&fin).unwrap().payload, Payload::Fin { .. }));
+    }
+
+    #[test]
+    fn v1_announce_with_codec_byte_and_v2_without_are_malformed() {
+        // Cross-version payload lengths must not half-parse.
+        let mut with_codec = announce_payload_v1();
+        with_codec.push(CodecId::Fft16.to_wire());
+        assert_eq!(
+            Datagram::decode(&raw_datagram(1, 2, 9, &with_codec)),
+            Err(WireError::MalformedPayload { kind: "announce" })
+        );
+        assert_eq!(
+            Datagram::decode(&raw_datagram(2, 2, 9, &announce_payload_v1())),
+            Err(WireError::MalformedPayload { kind: "announce" })
+        );
+    }
+
+    #[test]
+    fn unknown_codec_id_is_rejected_cleanly_never_a_panic() {
+        for unknown in [2u8, 7, 0x7F, 0xFF] {
+            let mut payload = announce_payload_v1();
+            payload.push(unknown);
+            let wire = raw_datagram(VERSION, 2, 9, &payload);
+            assert_eq!(
+                Datagram::decode(&wire),
+                Err(WireError::UnknownCodec { found: unknown }),
+                "codec byte {unknown}"
+            );
+        }
     }
 
     #[test]
@@ -534,7 +639,13 @@ mod tests {
 
     #[test]
     fn stream_meta_validation_caps() {
-        let good = StreamMeta { blocks: 128, block_size: 4096, total_segments: 8, original_len: 1 };
+        let good = StreamMeta {
+            blocks: 128,
+            block_size: 4096,
+            total_segments: 8,
+            original_len: 1,
+            codec: CodecId::DenseRlnc,
+        };
         assert!(good.validate().is_ok());
         for (meta, field) in [
             (StreamMeta { blocks: 0, ..good }, "blocks"),

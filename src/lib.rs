@@ -36,6 +36,7 @@
 
 pub use nc_cpu as cpu;
 pub use nc_cpu_model as cpu_model;
+pub use nc_fft as fft;
 pub use nc_gf256 as gf256;
 pub use nc_gpu as gpu;
 pub use nc_gpu_sim as gpu_sim;
