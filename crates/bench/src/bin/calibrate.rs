@@ -53,7 +53,7 @@ fn main() {
         while !dec.is_complete() {
             rng_seed += 1;
             let (c, p) = synth_block(128, k, rng_seed);
-            dec.push(&c, &p);
+            dec.push(&c, &p).expect("pivot result word");
         }
         let rate = (128 * k) as f64 / dec.kernel_seconds();
         println!("SS decode GTX280 n=128 k={k:<6}  {:>7}  {:>8.1}  {note}", "?", to_mb(rate));

@@ -705,7 +705,7 @@ pub fn ablation_sanitize() -> String {
         dec.enable_sanitizer(SanitizerConfig::default());
         while !dec.is_complete() {
             let b = enc.encode(&mut rng);
-            dec.push(b.coefficients(), b.payload());
+            dec.push(b.coefficients(), b.payload()).expect("pivot result word");
         }
         let report = dec.sanitizer_report().expect("sanitizer enabled");
         assert!(report.is_clean(), "decoder {options:?} must be clean:\n{}", report.render());

@@ -75,7 +75,7 @@ pub fn gpu_decode_single_rate(spec: DeviceSpec, n: usize, k: usize, options: Dec
         for c in coeffs.iter_mut() {
             *c = rng.gen_range(1..=255);
         }
-        dec.push(&coeffs, &payload);
+        dec.push(&coeffs, &payload).expect("pivot result word");
         guard += 1;
         assert!(guard < n + 32, "decode failed to converge");
     }

@@ -43,4 +43,4 @@ pub use device::{DeviceBuilder, DeviceSpec};
 pub use gpu::{Gpu, GridConfig, Kernel, TransferStats};
 pub use mem::DeviceBuffer;
 pub use sanitizer::{Diagnostic, DiagnosticKind, SanitizerConfig, SanitizerReport, Severity};
-pub use stats::{Bottleneck, ExecCounters, LaunchStats, PipelineStats};
+pub use stats::{Bottleneck, ExecCounters, LaunchStats, PipelineStats, TimeSource};

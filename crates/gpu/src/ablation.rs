@@ -153,7 +153,7 @@ pub fn latency_sensitivity(n: usize, k: usize) -> Vec<(u64, f64)> {
                 for c in coeffs.iter_mut() {
                     *c = rng.gen_range(1..=255);
                 }
-                dec.push(&coeffs, &payload);
+                dec.push(&coeffs, &payload).expect("pivot result word");
             }
             (latency, (n * k) as f64 / dec.kernel_seconds())
         })

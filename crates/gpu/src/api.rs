@@ -12,12 +12,13 @@
 //! scaled linearly (encoding cost is exactly linear in the block count; the
 //! scaling is tested against full runs at small sizes).
 
-use nc_gpu_sim::{DeviceSpec, Gpu, LaunchStats, PipelineStats, SanitizerConfig, SanitizerReport};
+use nc_gpu_sim::{DeviceSpec, LaunchStats, PipelineStats, SanitizerConfig, SanitizerReport};
 use nc_rlnc::{CodedBlock, CodingConfig, Segment};
 use rand::{Rng, SeedableRng};
 
 use crate::decode_multi::{InvertKernel, RecoverKernel};
 use crate::decode_single::{DecodeOptions, DecodeStepKernel, NO_PIVOT};
+use crate::device::{DeviceBackend, SimBackend};
 use crate::encode_loop::LoopEncodeKernel;
 use crate::encode_table::{TableEncodeKernel, TableVariant};
 use crate::preprocess::{log_table_bytes, LogConvention, LogTransformKernel};
@@ -28,8 +29,38 @@ pub enum Fidelity {
     /// Execute every block of every launch; device results are bit-exact.
     Functional,
     /// Sample uniform grids and scale; device results must not be consumed.
+    ///
+    /// Pipelines enforce this by poisoning sampled output buffers on the
+    /// backend (see [`crate::device::DeviceBackend::poison`]): a download or
+    /// peek of a poisoned range debug-asserts.
     Timing,
 }
+
+/// Typed failures surfaced by the host-side pipelines.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The device result buffer returned fewer bytes than the pipeline's
+    /// result word requires — a backend allocation or plumbing bug, caught
+    /// instead of panicking mid-stream.
+    ShortResultBuffer {
+        /// Bytes the pipeline needed to read.
+        expected: usize,
+        /// Bytes the backend actually returned.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::ShortResultBuffer { expected, got } => {
+                write!(f, "device result buffer too short: expected {expected} bytes, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
 
 /// Stage-2 multiplication scheme for multi-segment decoding.
 ///
@@ -95,19 +126,31 @@ const MEASURE_SAMPLED_BLOCKS: usize = 32;
 /// # Ok::<(), nc_rlnc::Error>(())
 /// ```
 pub struct GpuEncoder {
-    gpu: Gpu,
+    dev: Box<dyn DeviceBackend>,
     scheme: EncodeScheme,
 }
 
 impl GpuEncoder {
-    /// Creates an encoder for a device and scheme.
+    /// Creates an encoder for a device and scheme on the cycle-model
+    /// simulator backend.
     pub fn new(spec: DeviceSpec, scheme: EncodeScheme) -> GpuEncoder {
-        GpuEncoder { gpu: Gpu::new(spec), scheme }
+        GpuEncoder::with_backend(Box::new(SimBackend::new(spec)), scheme)
+    }
+
+    /// Creates an encoder on an explicit executor (host workers, compute
+    /// plumbing, …).
+    pub fn with_backend(dev: Box<dyn DeviceBackend>, scheme: EncodeScheme) -> GpuEncoder {
+        GpuEncoder { dev, scheme }
     }
 
     /// The device being driven.
     pub fn spec(&self) -> &DeviceSpec {
-        self.gpu.spec()
+        self.dev.spec()
+    }
+
+    /// The executor's name (`"sim"`, `"host"`, `"compute"`).
+    pub fn backend_name(&self) -> &'static str {
+        self.dev.name()
     }
 
     /// The active scheme.
@@ -115,17 +158,18 @@ impl GpuEncoder {
         self.scheme
     }
 
-    /// Enables the kernel sanitizer on the underlying device (see
+    /// Enables the kernel sanitizer, if the backend has one (see
     /// [`nc_gpu_sim::sanitizer`]). Instrumented launches are checked from
     /// here on; sampled measurement launches are never sanitized, so
     /// [`GpuEncoder::measure`] stays sanitizer-free by construction.
-    pub fn enable_sanitizer(&mut self, config: SanitizerConfig) {
-        self.gpu.enable_sanitizer(config);
+    /// Returns whether sanitizing is active.
+    pub fn enable_sanitizer(&mut self, config: SanitizerConfig) -> bool {
+        self.dev.enable_sanitizer(config)
     }
 
     /// The accumulated sanitizer report, if the sanitizer is enabled.
     pub fn sanitizer_report(&self) -> Option<&SanitizerReport> {
-        self.gpu.sanitizer_report()
+        self.dev.sanitizer_report()
     }
 
     /// Functionally encodes `coeff_rows.len()` coded blocks of `segment`,
@@ -197,14 +241,14 @@ impl GpuEncoder {
         assert_eq!(segment_data.len(), n * k);
         assert_eq!(coeff_flat.len(), m_exec * n);
         let mut pipeline = PipelineStats::new();
-        self.gpu.reset();
+        self.dev.reset();
 
-        let source = self.gpu.alloc(n * k);
-        let coeffs = self.gpu.alloc(m_exec * n);
-        let output = self.gpu.alloc(m_exec * k);
-        let t = self.gpu.upload(source, segment_data);
+        let source = self.dev.alloc(n * k);
+        let coeffs = self.dev.alloc(m_exec * n);
+        let output = self.dev.alloc(m_exec * k);
+        let t = self.dev.upload(source, segment_data);
         pipeline.record("pcie: segment upload", t.seconds);
-        let t = self.gpu.upload(coeffs, coeff_flat);
+        let t = self.dev.upload(coeffs, coeff_flat);
         pipeline.record("pcie: coefficients upload", t.seconds);
 
         let launch = match self.scheme {
@@ -220,9 +264,9 @@ impl GpuEncoder {
                     layout: Default::default(),
                 };
                 let stats = match fidelity {
-                    Fidelity::Functional => self.gpu.launch(&kernel, kernel.grid()),
+                    Fidelity::Functional => self.dev.launch(&kernel, kernel.grid()),
                     Fidelity::Timing => {
-                        self.gpu.launch_sampled(&kernel, kernel.grid(), MEASURE_SAMPLED_BLOCKS)
+                        self.dev.launch_sampled(&kernel, kernel.grid(), MEASURE_SAMPLED_BLOCKS)
                     }
                 };
                 pipeline.record("encode kernel (loop-based)", stats.elapsed_s);
@@ -231,8 +275,8 @@ impl GpuEncoder {
             EncodeScheme::Table(variant) => {
                 // Stage the multiplication tables.
                 let table_bytes = variant.table_bytes();
-                let tables = self.gpu.alloc(table_bytes.len());
-                self.gpu.poke(tables, &table_bytes);
+                let tables = self.dev.alloc(table_bytes.len());
+                self.dev.poke(tables, &table_bytes);
 
                 let (src_buf, coeff_buf) = if variant.uses_log_domain() {
                     let conv = if variant.uses_remapped_sentinel() {
@@ -240,10 +284,10 @@ impl GpuEncoder {
                     } else {
                         LogConvention::Sentinel
                     };
-                    let log_table = self.gpu.alloc(256);
-                    self.gpu.poke(log_table, &log_table_bytes(conv));
-                    let src_log = self.gpu.alloc(n * k);
-                    let coeff_log = self.gpu.alloc(m_exec * n.next_multiple_of(4));
+                    let log_table = self.dev.alloc(256);
+                    self.dev.poke(log_table, &log_table_bytes(conv));
+                    let src_log = self.dev.alloc(n * k);
+                    let coeff_log = self.dev.alloc(m_exec * n.next_multiple_of(4));
                     let kp = LogTransformKernel {
                         input: source,
                         output: src_log,
@@ -252,16 +296,16 @@ impl GpuEncoder {
                         convention: conv,
                     };
                     let s = match fidelity {
-                        Fidelity::Functional => self.gpu.launch(&kp, kp.grid()),
+                        Fidelity::Functional => self.dev.launch(&kp, kp.grid()),
                         Fidelity::Timing => {
-                            let s = self.gpu.launch_sampled(&kp, kp.grid(), MEASURE_SAMPLED_BLOCKS);
+                            let s = self.dev.launch_sampled(&kp, kp.grid(), MEASURE_SAMPLED_BLOCKS);
                             // The sampled launch transforms only a subset of
                             // the buffer; complete it host-side so the encode
                             // kernel's table lookups (and hence the measured
                             // bank conflicts) see real log-domain data.
                             let host_log: Vec<u8> =
                                 segment_data.iter().map(|&b| conv.apply(b)).collect();
-                            self.gpu.poke(src_log, &host_log);
+                            self.dev.poke(src_log, &host_log);
                             s
                         }
                     };
@@ -275,7 +319,7 @@ impl GpuEncoder {
                     };
                     // Coefficients are tiny; always run them in full so the
                     // encode kernel sees real log-domain values.
-                    let s = self.gpu.launch(&kc, kc.grid());
+                    let s = self.dev.launch(&kc, kc.grid());
                     pipeline.record("preprocess: coefficients to log domain", s.elapsed_s);
                     (src_log, coeff_log)
                 } else {
@@ -291,10 +335,10 @@ impl GpuEncoder {
                     n,
                     k,
                     m: m_exec,
-                    sm_blocks: self.gpu.spec().sm_count,
+                    sm_blocks: self.dev.spec().sm_count,
                     tb5_replicas: crate::encode_table::TB5_REPLICAS,
                 };
-                let stats = self.gpu.launch(&kernel, kernel.grid());
+                let stats = self.dev.launch(&kernel, kernel.grid());
                 pipeline.record(format!("encode kernel ({variant:?})"), stats.elapsed_s);
                 stats
             }
@@ -302,11 +346,16 @@ impl GpuEncoder {
 
         let out = match fidelity {
             Fidelity::Functional => {
-                let (bytes, t) = self.gpu.download(output);
+                let (bytes, t) = self.dev.download(output);
                 pipeline.record("pcie: coded blocks download", t.seconds);
                 Some(bytes)
             }
-            Fidelity::Timing => None,
+            Fidelity::Timing => {
+                // The (possibly sampled, always m-reduced) output holds
+                // measurement artifacts; make any later read fail loudly.
+                self.dev.poison(output);
+                None
+            }
         };
         (out, launch, pipeline)
     }
@@ -314,7 +363,7 @@ impl GpuEncoder {
 
 /// Host driver for the single-segment progressive decoder (Fig. 3).
 pub struct GpuProgressiveDecoder {
-    gpu: Gpu,
+    dev: Box<dyn DeviceBackend>,
     n: usize,
     k: usize,
     sm_blocks: usize,
@@ -342,16 +391,34 @@ impl GpuProgressiveDecoder {
         options: DecodeOptions,
         fidelity: Fidelity,
     ) -> GpuProgressiveDecoder {
+        GpuProgressiveDecoder::with_backend(
+            Box::new(SimBackend::new(spec)),
+            config,
+            options,
+            fidelity,
+        )
+    }
+
+    /// Creates a decoder on an explicit executor.
+    ///
+    /// # Panics
+    ///
+    /// Same shape requirements as [`GpuProgressiveDecoder::new`].
+    pub fn with_backend(
+        mut dev: Box<dyn DeviceBackend>,
+        config: CodingConfig,
+        options: DecodeOptions,
+        fidelity: Fidelity,
+    ) -> GpuProgressiveDecoder {
         let (n, k) = (config.blocks(), config.block_size());
         assert!(n % 4 == 0 && k % 4 == 0, "n and k must be multiples of 4");
-        let sm_blocks = spec.sm_count;
+        let sm_blocks = dev.spec().sm_count;
         let stride = n / 4 + DecodeStepKernel::partition_words(n, k, sm_blocks);
-        let mut gpu = Gpu::new(spec);
-        let rows = gpu.alloc(sm_blocks * n * stride * 4);
-        let incoming = gpu.alloc(n + k);
-        let result = gpu.alloc(4);
+        let rows = dev.alloc(sm_blocks * n * stride * 4);
+        let incoming = dev.alloc(n + k);
+        let result = dev.alloc(4);
         GpuProgressiveDecoder {
-            gpu,
+            dev,
             n,
             k,
             sm_blocks,
@@ -383,15 +450,22 @@ impl GpuProgressiveDecoder {
     }
 
     /// Enables the kernel sanitizer for subsequent [`GpuProgressiveDecoder::push`]
-    /// calls. Only meaningful at [`Fidelity::Functional`]; timing-fidelity
-    /// pushes use sampled launches, which are never sanitized.
-    pub fn enable_sanitizer(&mut self, config: SanitizerConfig) {
-        self.gpu.enable_sanitizer(config);
+    /// calls, if the backend has one. Only meaningful at
+    /// [`Fidelity::Functional`]; timing-fidelity pushes use sampled
+    /// launches, which are never sanitized. Returns whether sanitizing is
+    /// active.
+    pub fn enable_sanitizer(&mut self, config: SanitizerConfig) -> bool {
+        self.dev.enable_sanitizer(config)
+    }
+
+    /// The executor's name (`"sim"`, `"host"`, `"compute"`).
+    pub fn backend_name(&self) -> &'static str {
+        self.dev.name()
     }
 
     /// The accumulated sanitizer report, if the sanitizer is enabled.
     pub fn sanitizer_report(&self) -> Option<&SanitizerReport> {
-        self.gpu.sanitizer_report()
+        self.dev.sanitizer_report()
     }
 
     /// Pipeline breakdown including transfers.
@@ -401,19 +475,24 @@ impl GpuProgressiveDecoder {
 
     /// Absorbs one coded block; returns whether it was innovative.
     ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::ShortResultBuffer`] if the backend's result
+    /// buffer cannot supply the 4-byte pivot word.
+    ///
     /// # Panics
     ///
     /// Panics on shape mismatches.
-    pub fn push(&mut self, coefficients: &[u8], payload: &[u8]) -> bool {
+    pub fn push(&mut self, coefficients: &[u8], payload: &[u8]) -> Result<bool, PipelineError> {
         assert_eq!(coefficients.len(), self.n);
         assert_eq!(payload.len(), self.k);
         if self.is_complete() {
-            return false;
+            return Ok(false);
         }
         let mut wire = Vec::with_capacity(self.n + self.k);
         wire.extend_from_slice(coefficients);
         wire.extend_from_slice(payload);
-        let t = self.gpu.upload(self.incoming, &wire);
+        let t = self.dev.upload(self.incoming, &wire);
         self.pipeline.record("pcie: coded block upload", t.seconds);
 
         let kernel = DecodeStepKernel {
@@ -427,24 +506,34 @@ impl GpuProgressiveDecoder {
             pivot_cols: self.pivot_cols.clone(),
             options: self.options,
         };
-        let grid = kernel.grid(self.gpu.spec());
+        let grid = kernel.grid(self.dev.spec());
         let stats = match self.fidelity {
-            Fidelity::Functional => self.gpu.launch(&kernel, grid),
-            Fidelity::Timing => self.gpu.launch_sampled(&kernel, grid, 4),
+            Fidelity::Functional => self.dev.launch(&kernel, grid),
+            Fidelity::Timing => {
+                let stats = self.dev.launch_sampled(&kernel, grid, 4);
+                // The sampled step touched only a stripe of the row matrix;
+                // its contents are no longer coherent decode state.
+                self.dev.poison(self.rows);
+                stats
+            }
         };
         self.kernel_s += stats.elapsed_s;
         self.pipeline.record(format!("decode step (rank {})", self.rank), stats.elapsed_s);
 
         // Block 0 always executes (also under sampling), so the result word
         // is authoritative in both fidelities.
-        let word = u32::from_le_bytes(self.gpu.peek(self.result)[..4].try_into().unwrap());
-        if word == NO_PIVOT {
+        let bytes = self.dev.peek(self.result);
+        let Some(word_bytes) = bytes.get(..4) else {
+            return Err(PipelineError::ShortResultBuffer { expected: 4, got: bytes.len() });
+        };
+        let word = u32::from_le_bytes(word_bytes.try_into().expect("4-byte slice"));
+        Ok(if word == NO_PIVOT {
             false
         } else {
             self.pivot_cols.push(word);
             self.rank += 1;
             true
-        }
+        })
     }
 
     /// Recovers the decoded segment (functional fidelity only).
@@ -464,7 +553,7 @@ impl GpuProgressiveDecoder {
         let kw = self.k / 4;
         let kbw = (self.k / 4).div_ceil(self.sm_blocks);
         let stride = n / 4 + kbw;
-        let rows = self.gpu.peek(self.rows);
+        let rows = self.dev.peek(self.rows);
         let mut out = vec![0u8; n * self.k];
         // Row r holds source block pivot_cols[r]; its data partition for
         // block s covers words [s·kbw, …).
@@ -505,7 +594,7 @@ pub struct MultiDecodeOutcome {
 
 /// Host driver for the two-stage multi-segment decoder (Sec. 5.2).
 pub struct GpuMultiDecoder {
-    gpu: Gpu,
+    dev: Box<dyn DeviceBackend>,
     spec: DeviceSpec,
     stage2: Stage2Scheme,
 }
@@ -517,9 +606,21 @@ impl GpuMultiDecoder {
         GpuMultiDecoder::with_stage2(spec, Stage2Scheme::TableBased)
     }
 
-    /// Creates a multi-segment decoder with an explicit stage-2 scheme.
+    /// Creates a multi-segment decoder with an explicit stage-2 scheme on
+    /// the cycle-model simulator backend.
     pub fn with_stage2(spec: DeviceSpec, stage2: Stage2Scheme) -> GpuMultiDecoder {
-        GpuMultiDecoder { gpu: Gpu::new(spec.clone()), spec, stage2 }
+        GpuMultiDecoder::with_backend(Box::new(SimBackend::new(spec)), stage2)
+    }
+
+    /// Creates a multi-segment decoder on an explicit executor.
+    pub fn with_backend(dev: Box<dyn DeviceBackend>, stage2: Stage2Scheme) -> GpuMultiDecoder {
+        let spec = dev.spec().clone();
+        GpuMultiDecoder { dev, spec, stage2 }
+    }
+
+    /// The executor's name (`"sim"`, `"host"`, `"compute"`).
+    pub fn backend_name(&self) -> &'static str {
+        self.dev.name()
     }
 
     /// Functionally decodes `segments.len()` segments, each given as `n`
@@ -590,34 +691,40 @@ impl GpuMultiDecoder {
     ) -> MultiDecodeOutcome {
         assert!(n.is_multiple_of(4) && k.is_multiple_of(4), "n and k must be multiples of 4");
         let mut pipeline = PipelineStats::new();
-        self.gpu.reset();
-        let aug = self.gpu.alloc(s_count * n * 2 * n);
-        let coded = self.gpu.alloc(s_count * n * k);
+        self.dev.reset();
+        let aug = self.dev.alloc(s_count * n * 2 * n);
+        let coded = self.dev.alloc(s_count * n * k);
         // The recovery output is a single-segment staging buffer: at
         // (n=512, k=32 KB, 30 segments) the coded matrix alone is 503 MB,
         // so a full-size output next to it would not fit the GTX 280's
         // 1 GiB. Each segment is recovered and downloaded in turn, exactly
         // as a memory-constrained deployment would stream results out.
-        let out = self.gpu.alloc(n * k);
-        let t = self.gpu.upload(aug, aug_host);
+        let out = self.dev.alloc(n * k);
+        let t = self.dev.upload(aug, aug_host);
         pipeline.record("pcie: coefficient upload", t.seconds);
-        let t = self.gpu.upload(coded, coded_host);
+        let t = self.dev.upload(coded, coded_host);
         pipeline.record("pcie: coded blocks upload", t.seconds);
 
         // ---- Stage 1: invert every C_s on the device.
         let invert = InvertKernel { aug, n, segments: s_count };
         let s1 = match fidelity {
-            Fidelity::Functional => self.gpu.launch(&invert, invert.grid()),
-            Fidelity::Timing => self.gpu.launch_sampled(&invert, invert.grid(), 2),
+            Fidelity::Functional => self.dev.launch(&invert, invert.grid()),
+            Fidelity::Timing => {
+                let s1 = self.dev.launch_sampled(&invert, invert.grid(), 2);
+                // Only a sample of segments were inverted; the augmented
+                // matrix now holds measurement garbage.
+                self.dev.poison(aug);
+                s1
+            }
         };
         pipeline.record("stage1: [C|I] inversion", s1.elapsed_s);
 
         // ---- Stage 1.5: gather the inverses into a dense matrix buffer
         // (device-side reshuffle; zero PCIe).
-        let inv = self.gpu.alloc(s_count * n * n);
+        let inv = self.dev.alloc(s_count * n * n);
         match fidelity {
             Fidelity::Functional => {
-                let (aug_out, _) = self.gpu.download(aug);
+                let (aug_out, _) = self.dev.download(aug);
                 let mut inv_host = vec![0u8; s_count * n * n];
                 for s in 0..s_count {
                     for r in 0..n {
@@ -626,7 +733,7 @@ impl GpuMultiDecoder {
                             .copy_from_slice(&aug_out[off + n..off + 2 * n]);
                     }
                 }
-                self.gpu.poke(inv, &inv_host);
+                self.dev.poke(inv, &inv_host);
             }
             Fidelity::Timing => {
                 // Synthetic dense inverse: statistically identical loop
@@ -635,7 +742,7 @@ impl GpuMultiDecoder {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0FFEE);
                 let inv_host: Vec<u8> =
                     (0..s_count * n * n).map(|_| rng.gen_range(1..=255)).collect();
-                self.gpu.poke(inv, &inv_host);
+                self.dev.poke(inv, &inv_host);
             }
         }
 
@@ -656,16 +763,16 @@ impl GpuMultiDecoder {
                                 k,
                                 segments: 1,
                             };
-                            let st = self.gpu.launch(&recover, recover.grid());
+                            let st = self.dev.launch(&recover, recover.grid());
                             mul_s += st.elapsed_s;
-                            let (bytes, t) = self.gpu.download(out);
+                            let (bytes, t) = self.dev.download(out);
                             recovered_host.push(bytes);
                             pipeline.record(format!("pcie: segment {seg} download"), t.seconds);
                         }
                     }
                     Fidelity::Timing => {
                         let recover = RecoverKernel { inv, coded, out, n, k, segments: 1 };
-                        let st = self.gpu.launch_sampled(
+                        let st = self.dev.launch_sampled(
                             &recover,
                             recover.grid(),
                             MEASURE_SAMPLED_BLOCKS,
@@ -681,10 +788,10 @@ impl GpuMultiDecoder {
                 // the Table-based-5 encoder per segment with C⁻¹ as the
                 // coefficient matrix — decoding at encoding speed.
                 let variant = TableVariant::Tb5;
-                let tables = self.gpu.alloc(variant.table_bytes().len());
-                self.gpu.poke(tables, &variant.table_bytes());
-                let log_table = self.gpu.alloc(256);
-                self.gpu.poke(log_table, &log_table_bytes(LogConvention::Remapped));
+                let tables = self.dev.alloc(variant.table_bytes().len());
+                self.dev.poke(tables, &variant.table_bytes());
+                let log_table = self.dev.alloc(256);
+                self.dev.poke(log_table, &log_table_bytes(LogConvention::Remapped));
 
                 // The log-domain transforms run IN PLACE: at (n=512,
                 // k=32 KB, 30 segments) the coded matrix alone is 503 MB,
@@ -700,9 +807,9 @@ impl GpuMultiDecoder {
                     convention: LogConvention::Remapped,
                 };
                 let sx = match fidelity {
-                    Fidelity::Functional => self.gpu.launch(&kx, kx.grid()),
+                    Fidelity::Functional => self.dev.launch(&kx, kx.grid()),
                     Fidelity::Timing => {
-                        let sx = self.gpu.launch_sampled(&kx, kx.grid(), MEASURE_SAMPLED_BLOCKS);
+                        let sx = self.dev.launch_sampled(&kx, kx.grid(), MEASURE_SAMPLED_BLOCKS);
                         // Complete the transform host-side (see GpuEncoder):
                         // the stage-2 table kernel must observe real
                         // log-domain data for honest conflict measurement.
@@ -710,7 +817,7 @@ impl GpuMultiDecoder {
                             .iter()
                             .map(|&b| nc_gf256::logdomain::to_rlog(b) as u8)
                             .collect();
-                        self.gpu.poke(coded_log, &host_log);
+                        self.dev.poke(coded_log, &host_log);
                         sx
                     }
                 };
@@ -722,7 +829,7 @@ impl GpuMultiDecoder {
                     len: s_count * n * n,
                     convention: LogConvention::Remapped,
                 };
-                let si = self.gpu.launch(&ki, ki.grid());
+                let si = self.dev.launch(&ki, ki.grid());
                 pipeline.record("stage2: inverses to log domain", si.elapsed_s);
 
                 let mut mul_s = 0.0;
@@ -741,8 +848,8 @@ impl GpuMultiDecoder {
                                 sm_blocks: self.spec.sm_count,
                                 tb5_replicas: crate::encode_table::TB5_REPLICAS,
                             };
-                            mul_s += self.gpu.launch(&kernel, kernel.grid()).elapsed_s;
-                            let (bytes, t) = self.gpu.download(out);
+                            mul_s += self.dev.launch(&kernel, kernel.grid()).elapsed_s;
+                            let (bytes, t) = self.dev.download(out);
                             recovered_host.push(bytes);
                             pipeline.record(format!("pcie: segment {seg} download"), t.seconds);
                         }
@@ -764,7 +871,7 @@ impl GpuMultiDecoder {
                             sm_blocks: self.spec.sm_count,
                             tb5_replicas: crate::encode_table::TB5_REPLICAS,
                         };
-                        let t = self.gpu.launch(&kernel, kernel.grid()).elapsed_s;
+                        let t = self.dev.launch(&kernel, kernel.grid()).elapsed_s;
                         mul_s = t * (n as f64 / m_exec as f64) * s_count as f64;
                     }
                 }
@@ -775,7 +882,11 @@ impl GpuMultiDecoder {
 
         let recovered = match fidelity {
             Fidelity::Functional => Some(recovered_host),
-            Fidelity::Timing => None,
+            Fidelity::Timing => {
+                // The staging buffer saw sampled/reduced launches only.
+                self.dev.poison(out);
+                None
+            }
         };
 
         let stage1_s = s1.elapsed_s;
@@ -790,16 +901,16 @@ impl GpuMultiDecoder {
         }
     }
 
-    /// Enables the kernel sanitizer on the underlying device. Functional
+    /// Enables the kernel sanitizer, if the backend has one. Functional
     /// decodes are checked; sampled measurement launches are never
-    /// sanitized.
-    pub fn enable_sanitizer(&mut self, config: SanitizerConfig) {
-        self.gpu.enable_sanitizer(config);
+    /// sanitized. Returns whether sanitizing is active.
+    pub fn enable_sanitizer(&mut self, config: SanitizerConfig) -> bool {
+        self.dev.enable_sanitizer(config)
     }
 
     /// The accumulated sanitizer report, if the sanitizer is enabled.
     pub fn sanitizer_report(&self) -> Option<&SanitizerReport> {
-        self.gpu.sanitizer_report()
+        self.dev.sanitizer_report()
     }
 
     /// The device specification.
@@ -834,7 +945,7 @@ mod tests {
         let mut cpu_dec = Decoder::new(config);
         while !gpu_dec.is_complete() {
             let b = enc.encode(&mut rng);
-            let gpu_innovative = gpu_dec.push(b.coefficients(), b.payload());
+            let gpu_innovative = gpu_dec.push(b.coefficients(), b.payload()).unwrap();
             let cpu_innovative = cpu_dec.push(b).unwrap();
             assert_eq!(gpu_innovative, cpu_innovative, "innovation disagreement");
         }
@@ -853,8 +964,8 @@ mod tests {
             Fidelity::Functional,
         );
         let b = enc.encode(&mut rng);
-        assert!(dec.push(b.coefficients(), b.payload()));
-        assert!(!dec.push(b.coefficients(), b.payload()));
+        assert!(dec.push(b.coefficients(), b.payload()).unwrap());
+        assert!(!dec.push(b.coefficients(), b.payload()).unwrap());
         assert_eq!(dec.rank(), 1);
     }
 
@@ -875,7 +986,7 @@ mod tests {
             );
             while !dec.is_complete() {
                 let b = enc.encode(&mut rng);
-                dec.push(b.coefficients(), b.payload());
+                dec.push(b.coefficients(), b.payload()).unwrap();
             }
             assert_eq!(dec.recover().unwrap(), data, "{options:?}");
         }

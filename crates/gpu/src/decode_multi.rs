@@ -20,6 +20,7 @@ use nc_gf256::wide::{loop_mul_cost, mul_word32};
 use nc_gpu_sim::{BlockCtx, DeviceBuffer, GridConfig, Kernel};
 
 use crate::costs;
+use crate::device::{DeviceKernel, LaunchCtx};
 
 /// Stage 1: per-segment Gauss-Jordan inversion of the coefficient matrix on
 /// the augmented `[C | I]`.
@@ -56,8 +57,14 @@ impl InvertKernel {
 
 impl Kernel for InvertKernel {
     fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+        DeviceKernel::run_block(self, ctx);
+    }
+}
+
+impl DeviceKernel for InvertKernel {
+    fn run_block(&self, ctx: &mut dyn LaunchCtx) {
         assert!(self.n.is_multiple_of(4));
-        let s = ctx.block_idx;
+        let s = ctx.block_idx();
         let ws = ctx.spec().warp_size;
         let n = self.n;
         let row_words = 2 * n / 4;
@@ -213,11 +220,17 @@ impl RecoverKernel {
 
 impl Kernel for RecoverKernel {
     fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+        DeviceKernel::run_block(self, ctx);
+    }
+}
+
+impl DeviceKernel for RecoverKernel {
+    fn run_block(&self, ctx: &mut dyn LaunchCtx) {
         assert!(self.n.is_multiple_of(4) && self.k.is_multiple_of(4));
         let kw = self.k / 4;
         let words_per_seg = self.n * kw;
         let total = self.segments * words_per_seg;
-        let bt = ctx.block_threads;
+        let bt = ctx.block_threads();
         let ws = ctx.spec().warp_size;
 
         let mut lane_seg = [0usize; 32];
@@ -230,7 +243,7 @@ impl Kernel for RecoverKernel {
 
         for warp in 0..ctx.warps() {
             ctx.at_warp(warp);
-            let base = ctx.block_idx * bt + warp * ws;
+            let base = ctx.block_idx() * bt + warp * ws;
             let lanes = ctx.lanes_in_warp(warp).min(total.saturating_sub(base));
             if lanes == 0 {
                 continue;

@@ -21,6 +21,7 @@ use nc_gf256::wide::{loop_mul_cost, mul_word32};
 use nc_gpu_sim::{BlockCtx, DeviceBuffer, GridConfig, Kernel};
 
 use crate::costs;
+use crate::device::{DeviceKernel, LaunchCtx};
 
 /// Sentinel stored in the result word when the incoming block reduced to
 /// all-zero coefficients (linearly dependent).
@@ -108,7 +109,7 @@ impl DecodeStepKernel {
     }
 
     /// Charges one warp-wide loop-based multiply by a single factor byte.
-    fn charge_mul_warp(ctx: &mut BlockCtx<'_>, factor: u8) {
+    fn charge_mul_warp(ctx: &mut dyn LaunchCtx, factor: u8) {
         let (iters, _) = loop_mul_cost(factor);
         ctx.alu(costs::loop_mul_charge(iters));
     }
@@ -116,9 +117,15 @@ impl DecodeStepKernel {
 
 impl Kernel for DecodeStepKernel {
     fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+        DeviceKernel::run_block(self, ctx);
+    }
+}
+
+impl DeviceKernel for DecodeStepKernel {
+    fn run_block(&self, ctx: &mut dyn LaunchCtx) {
         assert!(self.n.is_multiple_of(4) && self.k.is_multiple_of(4));
         assert_eq!(self.pivot_cols.len(), self.rank, "pivot list out of sync");
-        let s = ctx.block_idx;
+        let s = ctx.block_idx();
         let ws = ctx.spec().warp_size;
         let n = self.n;
         let kw = self.k / 4;

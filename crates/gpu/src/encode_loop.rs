@@ -14,6 +14,7 @@ use nc_gf256::wide::{loop_mul_cost, mul_word32};
 use nc_gpu_sim::{BlockCtx, DeviceBuffer, GridConfig, Kernel};
 
 use crate::costs;
+use crate::device::{DeviceKernel, LaunchCtx};
 
 /// Device-memory layout of the source-blocks matrix — the coalescing
 /// ablation. The paper's Fig. 2 partitioning depends on row-major storage
@@ -122,10 +123,16 @@ fn dummy_word(seed: u64) -> u32 {
 
 impl Kernel for LoopEncodeKernel {
     fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+        DeviceKernel::run_block(self, ctx);
+    }
+}
+
+impl DeviceKernel for LoopEncodeKernel {
+    fn run_block(&self, ctx: &mut dyn LaunchCtx) {
         self.check();
         let kw = self.k / 4; // words per coded block
         let total_words = self.m * kw;
-        let bt = ctx.block_threads;
+        let bt = ctx.block_threads();
 
         let mut lane_j = [0usize; 32];
         let mut lane_w = [0usize; 32];
@@ -136,7 +143,7 @@ impl Kernel for LoopEncodeKernel {
 
         for warp in 0..ctx.warps() {
             ctx.at_warp(warp);
-            let base = ctx.block_idx * bt + warp * ctx.spec().warp_size;
+            let base = ctx.block_idx() * bt + warp * ctx.spec().warp_size;
             let lanes = ctx.lanes_in_warp(warp).min(total_words.saturating_sub(base));
             if lanes == 0 {
                 continue;

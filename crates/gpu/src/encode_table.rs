@@ -20,6 +20,7 @@ use nc_gf256::tables::{EXP, REXP};
 use nc_gpu_sim::{BlockCtx, DeviceBuffer, GridConfig, Kernel};
 
 use crate::costs;
+use crate::device::{DeviceKernel, LaunchCtx};
 
 /// The optimization ladder of Fig. 7.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -180,6 +181,12 @@ fn lookup_index(variant: TableVariant, lc: u8, ls: u8) -> Option<u64> {
 
 impl Kernel for TableEncodeKernel {
     fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+        DeviceKernel::run_block(self, ctx);
+    }
+}
+
+impl DeviceKernel for TableEncodeKernel {
+    fn run_block(&self, ctx: &mut dyn LaunchCtx) {
         assert!(
             self.k.is_multiple_of(4) && self.n.is_multiple_of(4),
             "n and k must be multiples of 4"
@@ -408,24 +415,24 @@ impl Kernel for TableEncodeKernel {
                 ctx.alu(1);
                 ctx.st_global_u32(&addrs[..lanes], &acc[..lanes]);
             }
-            chunk += ctx.block_threads;
+            chunk += ctx.block_threads();
         }
     }
 }
 
 impl TableEncodeKernel {
-    fn block_index_words(&self, ctx: &BlockCtx<'_>) -> usize {
+    fn block_index_words(&self, ctx: &dyn LaunchCtx) -> usize {
         let kw = self.k / 4;
         let total_words = self.m * kw;
         let wpb = total_words.div_ceil(self.sm_blocks);
-        ctx.block_idx * wpb
+        ctx.block_idx() * wpb
     }
 
     /// Table-based-0: every lookup goes to global memory. Operands are in
     /// the normal domain; zero products short-circuit per Fig. 1's test.
     fn tb0_byte_mults(
         &self,
-        ctx: &mut BlockCtx<'_>,
+        ctx: &mut dyn LaunchCtx,
         i: usize,
         lanes: usize,
         coeff_words: &[u32; 32],

@@ -23,6 +23,11 @@
 //!   inverts each segment's coefficient matrix via Gauss-Jordan on `[C|I]`
 //!   (one or two segments per SM), stage 2 recovers the data with an
 //!   encode-like matrix multiplication.
+//! * [`device`] — the backend-agnostic launch layer: kernels implement
+//!   [`DeviceKernel`] against the object-safe [`LaunchCtx`] surface and run
+//!   unchanged on the cycle-model [`SimBackend`], the measured
+//!   [`HostDeviceBackend`] (parallel execution on `nc-pool` workers), or
+//!   the feature-gated `compute` command-stream stub.
 //! * [`api`] — host-side pipelines ([`GpuEncoder`], [`GpuMultiDecoder`],
 //!   …) that manage transfers, preprocessing, launches and verification.
 //! * [`ablation`] — isolated measurements of the design choices: source
@@ -42,12 +47,20 @@
 
 pub mod ablation;
 pub mod api;
+#[cfg(feature = "compute")]
+pub mod compute;
 pub mod costs;
 pub mod decode_multi;
 pub mod decode_single;
+pub mod device;
 pub mod encode_loop;
 pub mod encode_table;
 pub mod preprocess;
 
-pub use api::{Fidelity, GpuEncoder, GpuMultiDecoder, GpuProgressiveDecoder};
+pub use api::{
+    EncodeScheme, Fidelity, GpuEncoder, GpuMultiDecoder, GpuProgressiveDecoder, PipelineError,
+};
+#[cfg(feature = "compute")]
+pub use compute::ComputeBackend;
+pub use device::{DeviceBackend, DeviceKernel, HostDeviceBackend, LaunchCtx, SimBackend};
 pub use encode_table::TableVariant;

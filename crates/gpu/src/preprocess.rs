@@ -15,6 +15,7 @@ use nc_gf256::logdomain::{to_log, to_rlog};
 use nc_gpu_sim::{BlockCtx, DeviceBuffer, GridConfig, Kernel};
 
 use crate::costs;
+use crate::device::{DeviceKernel, LaunchCtx};
 
 /// Which log-domain convention to transform into.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -72,9 +73,15 @@ impl LogTransformKernel {
 
 impl Kernel for LogTransformKernel {
     fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+        DeviceKernel::run_block(self, ctx);
+    }
+}
+
+impl DeviceKernel for LogTransformKernel {
+    fn run_block(&self, ctx: &mut dyn LaunchCtx) {
         assert!(self.len.is_multiple_of(4), "preprocess length must be a multiple of 4");
         let words = self.len / 4;
-        let bt = ctx.block_threads;
+        let bt = ctx.block_threads();
         let ws = ctx.spec().warp_size;
 
         // Phase 1: cooperative table load — 64 words of table over the
@@ -106,7 +113,7 @@ impl Kernel for LogTransformKernel {
         let mut lut_out = [0u8; 32];
         for warp in 0..ctx.warps() {
             ctx.at_warp(warp);
-            let base = ctx.block_idx * bt + warp * ws;
+            let base = ctx.block_idx() * bt + warp * ws;
             let lanes = ctx.lanes_in_warp(warp).min(words.saturating_sub(base));
             if lanes == 0 {
                 continue;

@@ -87,6 +87,9 @@ pub struct ReceiverReport {
     pub alien: u64,
     /// Datagrams whose payload failed to parse after the checksum passed.
     pub malformed: u64,
+    /// Repeat announces contradicting the accepted one (different codec,
+    /// shape, or length) — rejected rather than re-negotiated mid-stream.
+    pub conflicting_announces: u64,
     /// Data frames that arrived before the announce (undecodable; lost).
     pub pre_announce: u64,
     /// ACK datagrams sent.
@@ -122,8 +125,12 @@ pub struct ReceiverSession {
     corrupt: u64,
     alien: u64,
     malformed: u64,
+    conflicting_announces: u64,
     pre_announce: u64,
     acks_sent: u64,
+    /// The announce this session accepted; the yardstick repeats are
+    /// checked against.
+    accepted_meta: Option<StreamMeta>,
     since_ack: u64,
     ack_pending: bool,
     last_ack_at: Option<Instant>,
@@ -146,8 +153,10 @@ impl ReceiverSession {
             corrupt: 0,
             alien: 0,
             malformed: 0,
+            conflicting_announces: 0,
             pre_announce: 0,
             acks_sent: 0,
+            accepted_meta: None,
             since_ack: 0,
             ack_pending: false,
             last_ack_at: None,
@@ -313,6 +322,7 @@ impl ReceiverSession {
             corrupt: self.corrupt,
             alien: self.alien,
             malformed: self.malformed,
+            conflicting_announces: self.conflicting_announces,
             pre_announce: self.pre_announce,
             acks_sent: self.acks_sent,
             decode_latency: match (self.first_data_at, self.completed_at) {
@@ -324,7 +334,15 @@ impl ReceiverSession {
 
     fn start_receiving(&mut self, meta: StreamMeta) {
         if !matches!(self.state, State::AwaitAnnounce { .. }) {
-            return; // already announced; repeats are idempotent
+            // Repeats of the accepted announce are idempotent keep-alives.
+            // A repeat that *contradicts* it — notably a different codec
+            // byte — must never re-negotiate the decoder mid-stream (the
+            // absorbed frames would be reinterpreted under the wrong
+            // backend); reject it and count the conflict.
+            if self.accepted_meta.is_some_and(|accepted| meta != accepted) {
+                self.conflicting_announces += 1;
+            }
+            return;
         }
         if meta.validate().is_err() {
             self.malformed += 1;
@@ -344,6 +362,7 @@ impl ReceiverSession {
             self.malformed += 1;
             return;
         };
+        self.accepted_meta = Some(meta);
         self.state = State::Receiving { decoder, completed: SegmentBitmap::new(segments) };
     }
 
@@ -510,6 +529,37 @@ mod tests {
         );
         ok.handle_bytes(&dense.encode().unwrap(), t0);
         assert_eq!(ok.report().malformed, 0);
+    }
+
+    #[test]
+    fn conflicting_duplicate_announce_cannot_switch_the_codec() {
+        let t0 = Instant::now();
+        let mut r = ReceiverSession::new(5, ReceiverConfig::default(), t0);
+        r.handle_bytes(&announce().encode().unwrap(), t0);
+        assert!(matches!(r.state, State::Receiving { .. }));
+
+        // Identical repeat: idempotent, nothing counted.
+        r.handle_bytes(&announce().encode().unwrap(), t0);
+        assert_eq!(r.report().conflicting_announces, 0);
+
+        // Same session, same shape, different codec byte: must be rejected
+        // and counted, never silently re-negotiated.
+        let conflicting = Datagram::new(
+            5,
+            Payload::Announce(StreamMeta {
+                blocks: 4,
+                block_size: 16,
+                total_segments: 2,
+                original_len: 100,
+                codec: CodecId::Fft16,
+            }),
+        );
+        r.handle_bytes(&conflicting.encode().unwrap(), t0);
+        assert_eq!(r.report().conflicting_announces, 1);
+        assert_eq!(r.report().malformed, 0);
+        // The decoder negotiated at accept time is still the one in place.
+        assert_eq!(r.accepted_meta.unwrap().codec, CodecId::DenseRlnc);
+        assert!(matches!(r.state, State::Receiving { .. }));
     }
 
     #[test]

@@ -4,7 +4,7 @@ use nc_cpu::{measure, Partitioning};
 use nc_cpu_model::{CpuModel, EncodeStrategy};
 use nc_gf256::region::Backend;
 use nc_gpu::api::EncodeScheme;
-use nc_gpu::{GpuEncoder, TableVariant};
+use nc_gpu::{DeviceBackend, GpuEncoder, HostDeviceBackend, TableVariant};
 use nc_gpu_sim::DeviceSpec;
 use nc_rlnc::CodingConfig;
 
@@ -38,15 +38,36 @@ impl GpuBackend {
         GpuBackend { encoder: GpuEncoder::new(DeviceSpec::gtx280(), EncodeScheme::LoopBased) }
     }
 
-    /// Any device/scheme combination.
+    /// Any device/scheme combination on the cycle-model simulator.
     pub fn custom(spec: DeviceSpec, scheme: EncodeScheme) -> GpuBackend {
         GpuBackend { encoder: GpuEncoder::new(spec, scheme) }
+    }
+
+    /// A GTX 280-shaped grid executed on this host's worker pool: the same
+    /// kernels, but `encoding_rate` reports measured wall-clock throughput
+    /// instead of modeled GTX 280 time.
+    pub fn host_measured(scheme: EncodeScheme) -> GpuBackend {
+        GpuBackend::with_device_backend(
+            Box::new(HostDeviceBackend::new(DeviceSpec::gtx280())),
+            scheme,
+        )
+    }
+
+    /// Any executor/scheme combination (sim, host workers, compute
+    /// plumbing, …).
+    pub fn with_device_backend(dev: Box<dyn DeviceBackend>, scheme: EncodeScheme) -> GpuBackend {
+        GpuBackend { encoder: GpuEncoder::with_backend(dev, scheme) }
     }
 }
 
 impl CodingBackend for GpuBackend {
     fn name(&self) -> String {
-        format!("{} ({:?})", self.encoder.spec().name, self.encoder.scheme())
+        format!(
+            "{} ({:?}) [{}]",
+            self.encoder.spec().name,
+            self.encoder.scheme(),
+            self.encoder.backend_name()
+        )
     }
 
     fn encoding_rate(&mut self, config: CodingConfig) -> f64 {
@@ -89,15 +110,23 @@ pub struct HostCpuBackend {
 }
 
 impl HostCpuBackend {
+    /// Default coded blocks per probe (further clamped per configuration).
+    const DEFAULT_BATCH: usize = 64;
+
     /// This host with the auto-detected (SIMD where available) GF backend
     /// and `threads` worker threads.
     pub fn detected(threads: usize) -> HostCpuBackend {
-        HostCpuBackend { backend: Backend::default(), threads: threads.max(1), batch: 64 }
+        HostCpuBackend::with_batch(Backend::default(), threads, HostCpuBackend::DEFAULT_BATCH)
     }
 
     /// This host with an explicit GF backend, for SIMD-vs-scalar ablation.
     pub fn with_backend(backend: Backend, threads: usize) -> HostCpuBackend {
-        HostCpuBackend { backend, threads: threads.max(1), batch: 64 }
+        HostCpuBackend::with_batch(backend, threads, HostCpuBackend::DEFAULT_BATCH)
+    }
+
+    /// Full control: GF backend, thread count, and probe batch size.
+    pub fn with_batch(backend: Backend, threads: usize, batch: usize) -> HostCpuBackend {
+        HostCpuBackend { backend, threads: threads.max(1), batch: batch.max(1) }
     }
 
     /// The GF(2^8) region backend this probe encodes with.
@@ -113,11 +142,15 @@ impl CodingBackend for HostCpuBackend {
     }
 
     fn encoding_rate(&mut self, config: CodingConfig) -> f64 {
+        // Probing more coded blocks than the generation holds would
+        // overstate small-generation throughput (the coefficient matrix
+        // stays cache-hot across repeats); clamp the batch to n.
+        let batch = self.batch.clamp(1, config.blocks());
         measure::encode_throughput_with(
             self.backend,
             config.blocks(),
             config.block_size(),
-            self.batch,
+            batch,
             self.threads,
             Partitioning::FullBlock,
             0xC0DE,
@@ -146,6 +179,15 @@ impl HybridBackend {
     pub fn gtx280_plus_host(threads: usize) -> HybridBackend {
         HybridBackend {
             gpu: GpuBackend::gtx280_best(),
+            cpu: Box::new(HostCpuBackend::detected(threads)),
+        }
+    }
+
+    /// All-measured pairing: the GPU kernels on host workers plus this
+    /// host's SIMD encoder — no modeled numbers anywhere.
+    pub fn host_measured(threads: usize) -> HybridBackend {
+        HybridBackend {
+            gpu: GpuBackend::host_measured(EncodeScheme::Table(TableVariant::Tb5)),
             cpu: Box::new(HostCpuBackend::detected(threads)),
         }
     }
@@ -187,22 +229,38 @@ mod tests {
     #[test]
     fn host_cpu_backend_measures_positive_rate() {
         // A tiny config keeps this a smoke test, not a benchmark.
-        let mut b = HostCpuBackend::detected(2);
-        b.batch = 4;
+        let mut b = HostCpuBackend::with_batch(Backend::default(), 2, 4);
         let rate = b.encoding_rate(CodingConfig::new(8, 256).unwrap());
         assert!(rate.is_finite() && rate > 0.0);
         assert!(b.name().contains("host CPU"));
     }
 
     #[test]
+    fn host_cpu_batch_is_clamped_to_the_generation() {
+        // batch 64 against an n = 8 generation must probe only 8 blocks;
+        // the rate stays finite and positive either way, and the clamped
+        // probe cannot be slower to compute than the unclamped one was.
+        let mut b = HostCpuBackend::with_batch(Backend::Table, 1, 64);
+        let rate = b.encoding_rate(CodingConfig::new(8, 256).unwrap());
+        assert!(rate.is_finite() && rate > 0.0);
+    }
+
+    #[test]
     fn hybrid_accepts_a_live_host_cpu_side() {
-        let mut host = HostCpuBackend::with_backend(Backend::Table, 1);
-        host.batch = 4;
+        let host = HostCpuBackend::with_batch(Backend::Table, 1, 4);
         let mut hybrid = HybridBackend::custom(GpuBackend::gtx280_best(), Box::new(host));
         let cfg = CodingConfig::new(8, 256).unwrap();
         let rate = hybrid.encoding_rate(cfg);
         assert!(rate.is_finite() && rate > 0.0);
         assert!(hybrid.name().contains("host CPU"));
+    }
+
+    #[test]
+    fn host_measured_gpu_backend_reports_real_time() {
+        let mut b = GpuBackend::host_measured(EncodeScheme::Table(TableVariant::Tb5));
+        let rate = b.encoding_rate(CodingConfig::new(8, 256).unwrap());
+        assert!(rate.is_finite() && rate > 0.0);
+        assert!(b.name().contains("[host]"), "name should carry the executor: {}", b.name());
     }
 
     #[test]

@@ -42,7 +42,7 @@ fn main() -> Result<(), Error> {
         if decoder.is_complete() {
             break;
         }
-        if decoder.push(block.coefficients(), block.payload()) {
+        if decoder.push(block.coefficients(), block.payload()).expect("pivot result word") {
             absorbed += 1;
         }
     }

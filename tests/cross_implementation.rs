@@ -62,7 +62,7 @@ fn cpu_parallel_encoder_feeds_gpu_decoder() {
         if gpu_dec.is_complete() {
             break;
         }
-        gpu_dec.push(b.coefficients(), b.payload());
+        gpu_dec.push(b.coefficients(), b.payload()).expect("pivot result word");
     }
     assert_eq!(gpu_dec.recover().expect("complete"), data);
 }
@@ -108,7 +108,7 @@ fn recoded_traffic_decodes_on_gpu() {
     let mut guard = 0;
     while !gpu_dec.is_complete() {
         let b = relay.recode(&mut rng).expect("non-empty");
-        gpu_dec.push(b.coefficients(), b.payload());
+        gpu_dec.push(b.coefficients(), b.payload()).expect("pivot result word");
         guard += 1;
         assert!(guard < 60, "recoded stream failed to converge");
     }
