@@ -24,6 +24,14 @@
 //!   `net.syscalls` accounting the capacity bench divides by stays exact,
 //!   and so the batched Linux path and the portable fallback cannot
 //!   silently diverge at a call site.
+//! * **safety-comment** — an `unsafe {` block with no `// SAFETY:`
+//!   justification on the block: on the same line or in the contiguous
+//!   comment block directly above it. The GF kernel modules
+//!   (`crates/gf256/src/simd*.rs`), the FFT butterflies, the batched
+//!   syscall seam, and the pool executor all discharge unsafety against
+//!   specific bounds/availability arguments; a bare block is a missing
+//!   argument, not a style nit. (`unsafe fn` *declarations* are exempt —
+//!   they state a contract rather than discharge one.)
 //!
 //! A finding is waived by a comment on the same line or the line above:
 //!
@@ -112,6 +120,48 @@ fn is_waiver_for(line: &str, rule: &str) -> bool {
     line.contains("lint: allow(") && line.contains(&format!("allow({rule})"))
 }
 
+/// `// SAFETY:` audit: every `unsafe {` block needs its justification on
+/// the same line or in the contiguous `//` comment block directly above.
+/// Returns whether the block at `idx` carries one.
+fn has_safety_comment(lines: &[&str], idx: usize) -> bool {
+    if lines[idx].contains("SAFETY") {
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let prev = lines[i].trim_start();
+        if !prev.starts_with("//") {
+            return false;
+        }
+        if prev.contains("SAFETY") {
+            return true;
+        }
+    }
+    false
+}
+
+fn audit_safety(rel: &str, lines: &[&str], findings: &mut Vec<String>) {
+    for (idx, line) in lines.iter().enumerate() {
+        // Blocks only: `unsafe fn` / `unsafe impl` declare a contract
+        // (documented as `# Safety` rustdoc); `unsafe {` *discharges* one
+        // and must say why it holds here.
+        if !code_part(line).contains("unsafe {") {
+            continue;
+        }
+        let waived = is_waiver_for(line, "safety-comment")
+            || idx.checked_sub(1).is_some_and(|p| is_waiver_for(lines[p], "safety-comment"));
+        if !waived && !has_safety_comment(lines, idx) {
+            findings.push(format!(
+                "{rel}:{}: [safety-comment] `unsafe {{` without a `// SAFETY:` justification \
+                 on the block (same line or contiguous comment above)\n    {}",
+                idx + 1,
+                line.trim()
+            ));
+        }
+    }
+}
+
 fn lint_file(root: &Path, rel: &str, findings: &mut Vec<String>) {
     let text = match std::fs::read_to_string(root.join(rel)) {
         Ok(t) => t,
@@ -143,6 +193,7 @@ fn lint_file(root: &Path, rel: &str, findings: &mut Vec<String>) {
             }
         }
     }
+    audit_safety(rel, &lines, findings);
 }
 
 /// Every tracked `.rs` file under `crates/` (vendor and target stay out of
@@ -242,6 +293,20 @@ mod tests {
         assert!(!(rule.applies)("crates/net/src/sysio.rs"));
         assert!((rule.applies)("crates/net/src/server.rs"));
         assert!((rule.applies)("crates/bench/src/bin/server_bench.rs"));
+    }
+
+    #[test]
+    fn safety_audit_accepts_adjacent_and_block_comments_only() {
+        let with_block =
+            ["// SAFETY: bounds checked by the", "// caller's length contract.", "unsafe {"];
+        assert!(has_safety_comment(&with_block, 2));
+        let same_line = ["unsafe { do_it() } // SAFETY: inline argument"];
+        assert!(has_safety_comment(&same_line, 0));
+        // A gap of code between the comment and the block breaks the tie.
+        let with_gap = ["// SAFETY: stale argument", "let len = dst.len();", "unsafe {"];
+        assert!(!has_safety_comment(&with_gap, 2));
+        let bare = ["let x = 1;", "unsafe {"];
+        assert!(!has_safety_comment(&bare, 1));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Each function returns the complete text its binary prints, so the `all`
 //! binary (and EXPERIMENTS.md regeneration) can compose them.
 
-use nc_cpu::Partitioning;
+use nc_cpu::{measure, Partitioning};
 use nc_cpu_model::{CpuModel, EncodeStrategy};
 use nc_gf256::region::Backend;
 use nc_gf256::simd;
@@ -16,9 +16,9 @@ use nc_streaming::{CapacityPlan, HybridBackend, Nic, StreamProfile};
 
 use crate::grids::{block_sizes, to_mb, BLOCK_COUNTS, BLOCK_COUNTS_FIG8};
 use crate::runners::{
-    cpu_decode_multi_series, cpu_decode_single_series, cpu_encode_series, fig7_ladder,
-    gf_axpy_rate, gpu_decode_multi_series, gpu_decode_single_rate, gpu_decode_single_series,
-    gpu_encode_series, host_encode_series,
+    circshift_rotate_add_rate, cpu_decode_multi_series, cpu_decode_single_series,
+    cpu_encode_series, fig7_ladder, gf_axpy_rate, gf_kernel_axpy_rate, gpu_decode_multi_series,
+    gpu_decode_single_rate, gpu_decode_single_series, gpu_encode_series, host_encode_series,
 };
 use crate::series::format_table;
 
@@ -250,10 +250,10 @@ pub fn fig10() -> String {
 pub fn host_simd() -> String {
     let mut out = String::from("## Host SIMD: measured GF(2^8) region arithmetic\n\n");
     out.push_str(&format!(
-        "auto-detected kernel: {} (available: {}); default backend: {}\n\n",
+        "auto-detected kernel: {} (available: {}); host gf path: {}\n\n",
         simd::active_kernel().name(),
         simd::SimdKernel::available().iter().map(|k| k.name()).collect::<Vec<_>>().join(", "),
-        Backend::detected().name(),
+        measure::gf_path(),
     ));
 
     // Single-core axpy ladder: every region backend at 1 KiB / 4 KiB /
@@ -285,6 +285,46 @@ pub fn host_simd() -> String {
     out.push_str(
         "(acceptance: simd >= 2x table at 4 KiB on an AVX2 host; the nibble-table\n\
          shuffle kernel multiplies 32 bytes per instruction pair.)\n\n",
+    );
+
+    // The full dispatch ladder, rung by rung: every kernel this binary
+    // knows, measured explicitly (the `simd` row above only shows the
+    // auto-detected winner), plus the multiplication-free circular-shift
+    // primitive as its own column of the ablation.
+    out.push_str("### per-kernel dispatch ladder + circular shift (MB/s)\n");
+    out.push_str(&format!(
+        "{:<10} {:>10} {:>10} {:>10} {:>14}\n{}\n",
+        "kernel",
+        "1 KiB",
+        "4 KiB",
+        "16 KiB",
+        "vs table@4K",
+        "-".repeat(58)
+    ));
+    for kernel in simd::SimdKernel::available() {
+        let rates: Vec<f64> = sizes.iter().map(|&k| gf_kernel_axpy_rate(kernel, k)).collect();
+        out.push_str(&format!(
+            "{:<10} {:>10.1} {:>10.1} {:>10.1} {:>13.2}x\n",
+            kernel.name(),
+            rates[0],
+            rates[1],
+            rates[2],
+            rates[1] / table_4k,
+        ));
+    }
+    let circ_rates: Vec<f64> = sizes.iter().map(|&k| circshift_rotate_add_rate(k)).collect();
+    out.push_str(&format!(
+        "{:<10} {:>10.1} {:>10.1} {:>10.1} {:>13.2}x\n",
+        "circshift",
+        circ_rates[0],
+        circ_rates[1],
+        circ_rates[2],
+        circ_rates[1] / table_4k,
+    ));
+    out.push_str(
+        "(circshift is the Shum & Hou rotate-and-add over Z_256[z]/(z^L - 1):\n\
+         no GF multiply at all, so its per-op bandwidth is memory-bound even\n\
+         without SIMD; GFNI multiplies 64 bytes per instruction.)\n\n",
     );
 
     // Fig. 10 on live hardware: the partitioning trade-off with the SIMD

@@ -41,6 +41,10 @@ pub enum CodecId {
     /// deterministic shards, O(n log n) decode, zero-copy on loss-free
     /// delivery.
     Fft16,
+    /// Multiplication-free circular-shift coding over Z₂₅₆\[z\]/(z^L − 1)
+    /// ([`crate::circshift`]): byte rotations + wrapping integer adds,
+    /// no GF tables or SIMD shuffles anywhere on the hot path.
+    CircShift,
 }
 
 impl CodecId {
@@ -49,6 +53,7 @@ impl CodecId {
         match self {
             CodecId::DenseRlnc => 0,
             CodecId::Fft16 => 1,
+            CodecId::CircShift => 2,
         }
     }
 
@@ -58,6 +63,7 @@ impl CodecId {
         match byte {
             0 => Some(CodecId::DenseRlnc),
             1 => Some(CodecId::Fft16),
+            2 => Some(CodecId::CircShift),
             _ => None,
         }
     }
@@ -67,6 +73,7 @@ impl CodecId {
         match self {
             CodecId::DenseRlnc => "dense-rlnc",
             CodecId::Fft16 => "fft16",
+            CodecId::CircShift => "circshift",
         }
     }
 }
@@ -298,11 +305,11 @@ mod tests {
 
     #[test]
     fn codec_ids_roundtrip_and_reject_unknown() {
-        for id in [CodecId::DenseRlnc, CodecId::Fft16] {
+        for id in [CodecId::DenseRlnc, CodecId::Fft16, CodecId::CircShift] {
             assert_eq!(CodecId::from_wire(id.to_wire()), Some(id));
         }
         assert_eq!(CodecId::from_wire(0xFF), None);
-        assert_eq!(CodecId::from_wire(2), None);
+        assert_eq!(CodecId::from_wire(3), None);
     }
 
     #[test]

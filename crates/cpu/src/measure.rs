@@ -13,6 +13,24 @@ use rand::{Rng, SeedableRng};
 use crate::decode::ParallelSegmentDecoder;
 use crate::encode::{ParallelEncoder, Partitioning};
 
+/// Provenance string for host-CPU measurements: the auto-detected GF
+/// region backend and, when that backend is `simd`, which rung of the
+/// kernel dispatch ladder actually runs (gfni / avx512 / avx2 / …).
+///
+/// Figure reports stamp this next to "host CPU" columns so a number can
+/// be traced to the kernel that produced it — two hosts both reporting
+/// backend `simd` can still differ by an order of magnitude between the
+/// portable and GFNI rungs.
+pub fn gf_path() -> String {
+    let backend = Backend::detected();
+    match backend {
+        Backend::Simd => {
+            format!("backend={} kernel={}", backend.name(), nc_gf256::simd::active_kernel().name())
+        }
+        _ => format!("backend={}", backend.name()),
+    }
+}
+
 /// Measures encoding throughput (coded bytes/second) for `m` coded blocks
 /// of a random `(n, k)` segment on `threads` threads, with the
 /// auto-detected GF region backend.
@@ -92,6 +110,16 @@ pub fn decode_throughput_with(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn gf_path_names_backend_and_simd_kernel() {
+        let path = gf_path();
+        assert!(path.starts_with("backend="), "{path}");
+        if path.contains("backend=simd") {
+            let kernel = nc_gf256::simd::active_kernel().name();
+            assert!(path.contains(&format!("kernel={kernel}")), "{path}");
+        }
+    }
 
     #[test]
     fn encode_throughput_is_positive_and_finite() {

@@ -14,6 +14,11 @@
 //! 16-entry half-byte product tables ([`Backend::Nibble`] computes the very
 //! same tables, one byte at a time). This module provides:
 //!
+//! * a **GFNI** kernel (`GF2P8MULB` region multiply + `GF2P8AFFINEQB`
+//!   mul-add, 512-bit EVEX when AVX-512BW is present, 256-bit VEX
+//!   otherwise — see `simd_gfni.rs`),
+//! * an **AVX-512BW** kernel (64 bytes, `_mm512_shuffle_epi8` with
+//!   `k`-masked tails — see `simd_avx512.rs`),
 //! * an **SSSE3** kernel (16 bytes/shuffle pair, `_mm_shuffle_epi8`),
 //! * an **AVX2** kernel (32 bytes, `_mm256_shuffle_epi8`),
 //! * an **AArch64 NEON** kernel (16 bytes, `vqtbl1q_u8`),
@@ -27,10 +32,18 @@
 //!
 //! | `NC_GF_BACKEND` | effect |
 //! |---|---|
-//! | `avx2` / `ssse3` / `neon` | force that kernel (if the host supports it) |
+//! | `gfni` / `avx512` / `avx2` / `ssse3` / `neon` | force that kernel (if the host supports it) |
 //! | `portable` | force the portable fallback through the SIMD dispatcher |
 //! | `table` / `logexp` / `loopwide` / `nibble` | force that scalar [`Backend`] |
 //! | unset / `simd` / `auto` | auto-detect the best kernel |
+//!
+//! A forced kernel the host cannot run is **not** silently honored: the
+//! dispatcher logs the downgrade to stderr once and bumps the
+//! `gf.backend_override_unavailable` telemetry counter, so an ablation run
+//! that asked for `gfni` on a non-GFNI box leaves a visible trace instead
+//! of quietly measuring the wrong kernel. The rung that actually runs is
+//! exported as the `gf.kernel_id` gauge (see [`SimdKernel::id`]) at first
+//! dispatch.
 //!
 //! Besides the three single-source region ops, the module implements the
 //! **blocked multi-source axpy** behind [`crate::region::dot_assign`]:
@@ -43,14 +56,23 @@
 //! backends (see `tests/simd_dispatch.rs`), including the zero/one
 //! coefficient fast paths and every unaligned head/tail length.
 
-// The only `unsafe` in the crate: each block below is a straight mapping to
-// documented vendor intrinsics, with the safety argument (feature
-// availability + in-bounds pointer arithmetic) stated per block.
+// All `unsafe` in the crate lives in this module and its two x86-64
+// children (`simd_avx512.rs`, `simd_gfni.rs`): each block is a straight
+// mapping to documented vendor intrinsics, with the safety argument
+// (feature availability + in-bounds pointer arithmetic) stated per block.
 #![allow(unsafe_code)]
 
 use crate::region::Backend;
 use crate::tables::MUL;
 use std::sync::OnceLock;
+
+#[cfg(target_arch = "x86_64")]
+#[path = "simd_avx512.rs"]
+mod simd_avx512;
+
+#[cfg(target_arch = "x86_64")]
+#[path = "simd_gfni.rs"]
+mod simd_gfni;
 
 /// One concrete region-kernel implementation the dispatcher can select.
 ///
@@ -68,6 +90,13 @@ pub enum SimdKernel {
     Avx2,
     /// AArch64 NEON `TBL`, 16 bytes per table pair.
     Neon,
+    /// x86-64 AVX-512BW `VPSHUFB`, 64 bytes per table pair with masked
+    /// tails.
+    Avx512,
+    /// x86-64 GFNI `GF2P8MULB`/`GF2P8AFFINEQB` — the field as an
+    /// instruction, no tables (512-bit EVEX when AVX-512BW is present,
+    /// 256-bit VEX otherwise).
+    Gfni,
 }
 
 impl SimdKernel {
@@ -78,6 +107,21 @@ impl SimdKernel {
             SimdKernel::Ssse3 => "ssse3",
             SimdKernel::Avx2 => "avx2",
             SimdKernel::Neon => "neon",
+            SimdKernel::Avx512 => "avx512",
+            SimdKernel::Gfni => "gfni",
+        }
+    }
+
+    /// Stable numeric id for the `gf.kernel_id` telemetry gauge, so
+    /// `--telemetry-json` artifacts record which rung actually ran.
+    pub fn id(self) -> u8 {
+        match self {
+            SimdKernel::Portable => 0,
+            SimdKernel::Ssse3 => 1,
+            SimdKernel::Avx2 => 2,
+            SimdKernel::Neon => 3,
+            SimdKernel::Avx512 => 4,
+            SimdKernel::Gfni => 5,
         }
     }
 
@@ -91,6 +135,18 @@ impl SimdKernel {
             SimdKernel::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
             #[cfg(target_arch = "aarch64")]
             SimdKernel::Neon => true,
+            #[cfg(target_arch = "x86_64")]
+            SimdKernel::Avx512 => {
+                std::arch::is_x86_feature_detected!("avx512f")
+                    && std::arch::is_x86_feature_detected!("avx512bw")
+            }
+            // GFNI's AVX2 floor keeps the 256-bit VEX bodies runnable;
+            // SSE-only GFNI parts (e.g. Tremont) fall through to Ssse3.
+            #[cfg(target_arch = "x86_64")]
+            SimdKernel::Gfni => {
+                std::arch::is_x86_feature_detected!("gfni")
+                    && std::arch::is_x86_feature_detected!("avx2")
+            }
             #[allow(unreachable_patterns)]
             _ => false,
         }
@@ -99,30 +155,67 @@ impl SimdKernel {
     /// Every kernel this host can execute, fastest first (the portable
     /// fallback is always present and always last).
     pub fn available() -> Vec<SimdKernel> {
-        [SimdKernel::Avx2, SimdKernel::Neon, SimdKernel::Ssse3, SimdKernel::Portable]
-            .into_iter()
-            .filter(|k| k.is_available())
-            .collect()
+        [
+            SimdKernel::Gfni,
+            SimdKernel::Avx512,
+            SimdKernel::Avx2,
+            SimdKernel::Neon,
+            SimdKernel::Ssse3,
+            SimdKernel::Portable,
+        ]
+        .into_iter()
+        .filter(|k| k.is_available())
+        .collect()
     }
 }
 
 /// The kernel [`Backend::Simd`] dispatches to, detected once and cached.
 ///
-/// Honors `NC_GF_BACKEND` (`avx2` / `ssse3` / `neon` / `portable`); a forced
-/// kernel the host lacks degrades to the best available one rather than
-/// crashing, so ablation scripts are portable.
+/// Honors `NC_GF_BACKEND` (`gfni` / `avx512` / `avx2` / `ssse3` / `neon` /
+/// `portable`); a forced kernel the host lacks degrades to the best
+/// available one rather than crashing, so ablation scripts are portable —
+/// but the downgrade is logged to stderr once and counted in the
+/// `gf.backend_override_unavailable` telemetry counter so it can't pass
+/// unnoticed. The selected rung is published as the `gf.kernel_id` gauge.
 pub fn active_kernel() -> SimdKernel {
     static ACTIVE: OnceLock<SimdKernel> = OnceLock::new();
     *ACTIVE.get_or_init(|| {
-        match backend_env().as_deref() {
-            Some("portable") => return SimdKernel::Portable,
-            Some("avx2") if SimdKernel::Avx2.is_available() => return SimdKernel::Avx2,
-            Some("ssse3") if SimdKernel::Ssse3.is_available() => return SimdKernel::Ssse3,
-            Some("neon") if SimdKernel::Neon.is_available() => return SimdKernel::Neon,
-            _ => {}
-        }
-        SimdKernel::available()[0]
+        let forced = match backend_env().as_deref() {
+            Some("portable") => Some(SimdKernel::Portable),
+            Some("gfni") => Some(SimdKernel::Gfni),
+            Some("avx512") => Some(SimdKernel::Avx512),
+            Some("avx2") => Some(SimdKernel::Avx2),
+            Some("ssse3") => Some(SimdKernel::Ssse3),
+            Some("neon") => Some(SimdKernel::Neon),
+            // Scalar backend names are handled by `default_backend` and
+            // never reach the SIMD dispatcher; auto tokens mean detect.
+            None | Some("simd") | Some("auto") | Some("table") | Some("logexp")
+            | Some("loopwide") | Some("nibble") => None,
+            Some(other) => {
+                note_override_ignored(other, "is not a known backend");
+                None
+            }
+        };
+        let kernel = match forced {
+            Some(k) if k.is_available() => k,
+            Some(k) => {
+                note_override_ignored(k.name(), "is not supported by this CPU");
+                SimdKernel::available()[0]
+            }
+            None => SimdKernel::available()[0],
+        };
+        nc_telemetry::default_registry().gauge("gf.kernel_id").set(f64::from(kernel.id()));
+        kernel
     })
+}
+
+/// Makes a misconfigured `NC_GF_BACKEND` visible (stderr + telemetry)
+/// instead of silently measuring the wrong kernel. Called at most once per
+/// cause, from inside the `active_kernel` one-time init.
+fn note_override_ignored(value: &str, why: &str) {
+    let fallback = SimdKernel::available()[0];
+    eprintln!("nc-gf256: NC_GF_BACKEND={value} {why}; falling back to `{}`", fallback.name());
+    nc_telemetry::default_registry().counter("gf.backend_override_unavailable").inc();
 }
 
 /// The crate-wide default [`Backend`], detected once and cached.
@@ -204,6 +297,18 @@ pub fn mul_add_assign_with_kernel(kernel: SimdKernel, dst: &mut [u8], src: &[u8]
         _ => {}
     }
     match kernel {
+        #[cfg(target_arch = "x86_64")]
+        SimdKernel::Gfni if SimdKernel::Gfni.is_available() => {
+            // SAFETY: GFNI + AVX2 availability was verified on this host
+            // above; the length assert above is the equal-length contract.
+            unsafe { simd_gfni::mul_add(dst, src, c) }
+        }
+        #[cfg(target_arch = "x86_64")]
+        SimdKernel::Avx512 if SimdKernel::Avx512.is_available() => {
+            // SAFETY: AVX-512F/BW availability was verified on this host
+            // above; the length assert above is the equal-length contract.
+            unsafe { simd_avx512::mul_add(dst, src, c) }
+        }
         #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
         SimdKernel::Avx2 if SimdKernel::Avx2.is_available() => {
             // SAFETY: AVX2 availability was verified on this host above.
@@ -228,6 +333,18 @@ pub fn mul_assign_with_kernel(kernel: SimdKernel, dst: &mut [u8], c: u8) {
         _ => {}
     }
     match kernel {
+        #[cfg(target_arch = "x86_64")]
+        SimdKernel::Gfni if SimdKernel::Gfni.is_available() => {
+            // SAFETY: GFNI + AVX2 availability was verified on this host
+            // above.
+            unsafe { simd_gfni::mul_assign(dst, c) }
+        }
+        #[cfg(target_arch = "x86_64")]
+        SimdKernel::Avx512 if SimdKernel::Avx512.is_available() => {
+            // SAFETY: AVX-512F/BW availability was verified on this host
+            // above.
+            unsafe { simd_avx512::mul_assign(dst, c) }
+        }
         #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
         SimdKernel::Avx2 if SimdKernel::Avx2.is_available() => {
             // SAFETY: AVX2 availability was verified on this host above.
@@ -262,6 +379,18 @@ pub fn mul_into_with_kernel(kernel: SimdKernel, dst: &mut [u8], src: &[u8], c: u
         _ => {}
     }
     match kernel {
+        #[cfg(target_arch = "x86_64")]
+        SimdKernel::Gfni if SimdKernel::Gfni.is_available() => {
+            // SAFETY: GFNI + AVX2 availability was verified on this host
+            // above; the length assert above is the equal-length contract.
+            unsafe { simd_gfni::mul_into(dst, src, c) }
+        }
+        #[cfg(target_arch = "x86_64")]
+        SimdKernel::Avx512 if SimdKernel::Avx512.is_available() => {
+            // SAFETY: AVX-512F/BW availability was verified on this host
+            // above; the length assert above is the equal-length contract.
+            unsafe { simd_avx512::mul_into(dst, src, c) }
+        }
         #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
         SimdKernel::Avx2 if SimdKernel::Avx2.is_available() => {
             // SAFETY: AVX2 availability was verified on this host above.
@@ -293,6 +422,18 @@ pub fn mul_into_with_kernel(kernel: SimdKernel, dst: &mut [u8], src: &[u8], c: u
 pub fn xor_assign_with_kernel(kernel: SimdKernel, dst: &mut [u8], src: &[u8]) {
     assert_eq!(dst.len(), src.len(), "region length mismatch");
     match kernel {
+        #[cfg(target_arch = "x86_64")]
+        SimdKernel::Avx512 if SimdKernel::Avx512.is_available() => {
+            // SAFETY: AVX-512F/BW availability was verified on this host
+            // above; the length assert above is the equal-length contract.
+            unsafe { simd_avx512::xor_assign(dst, src) }
+        }
+        #[cfg(target_arch = "x86_64")]
+        SimdKernel::Gfni if SimdKernel::Gfni.is_available() => {
+            // SAFETY: GFNI + AVX2 availability was verified on this host
+            // above; the length assert above is the equal-length contract.
+            unsafe { simd_gfni::xor_assign(dst, src) }
+        }
         #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
         SimdKernel::Avx2 if SimdKernel::Avx2.is_available() => {
             // SAFETY: AVX2 availability was verified on this host above.
@@ -343,6 +484,18 @@ pub fn dot_assign_with_kernel(
         filled = 0;
         let srcs = [sources[idxs[0]], sources[idxs[1]], sources[idxs[2]], sources[idxs[3]]];
         match kernel {
+            #[cfg(target_arch = "x86_64")]
+            SimdKernel::Gfni if SimdKernel::Gfni.is_available() => {
+                // SAFETY: GFNI + AVX2 availability was verified on this host
+                // above; the length asserts above cover all four sources.
+                unsafe { simd_gfni::dot4(dst, &srcs, cs) }
+            }
+            #[cfg(target_arch = "x86_64")]
+            SimdKernel::Avx512 if SimdKernel::Avx512.is_available() => {
+                // SAFETY: AVX-512F/BW availability was verified on this host
+                // above; the length asserts above cover all four sources.
+                unsafe { simd_avx512::dot4(dst, &srcs, cs) }
+            }
             #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
             SimdKernel::Avx2 if SimdKernel::Avx2.is_available() => {
                 // SAFETY: AVX2 availability was verified on this host above.

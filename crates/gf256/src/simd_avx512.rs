@@ -1,0 +1,224 @@
+//! AVX-512BW nibble-shuffle kernels: the AVX2 `VPSHUFB` bodies widened to
+//! 64-byte vectors, with masked heads gone entirely — the sub-vector tail
+//! is handled by `k`-masked byte loads/stores instead of a scalar loop, so
+//! every region length runs vectorized end to end.
+//!
+//! `_mm512_shuffle_epi8` shuffles within each 128-bit lane exactly like
+//! `PSHUFB`, so the two 16-entry half-byte product tables are broadcast to
+//! all four lanes with `_mm512_broadcast_i32x4` and the per-byte recipe is
+//! unchanged from the SSSE3 kernel:
+//!
+//! ```text
+//! product = VPSHUFB(lo_table, src & 0x0F) ^ VPSHUFB(hi_table, src >> 4)
+//! ```
+//!
+//! Every function in this module requires AVX-512F + AVX-512BW (checked by
+//! the dispatcher via `is_x86_feature_detected!`); the masked tail needs BW
+//! (byte-granular masks are a BW feature). All loads/stores use the
+//! unaligned forms.
+
+use super::nibble_tables;
+
+#[cfg(target_arch = "x86_64")]
+use std::arch::x86_64::*;
+
+/// `VPSHUFB(lo, s & 0x0F) ^ VPSHUFB(hi, s >> 4)` — one 64-byte product.
+///
+/// # Safety
+///
+/// Caller must ensure the host supports AVX-512F and AVX-512BW.
+#[inline]
+#[target_feature(enable = "avx512f,avx512bw")]
+unsafe fn product(lo_t: __m512i, hi_t: __m512i, mask: __m512i, s: __m512i) -> __m512i {
+    let lo_idx = _mm512_and_si512(s, mask);
+    let hi_idx = _mm512_and_si512(_mm512_srli_epi64::<4>(s), mask);
+    _mm512_xor_si512(_mm512_shuffle_epi8(lo_t, lo_idx), _mm512_shuffle_epi8(hi_t, hi_idx))
+}
+
+/// Broadcasts one 16-byte half-byte table to all four 128-bit lanes.
+///
+/// # Safety
+///
+/// Caller must ensure the host supports AVX-512F (the table array is 16
+/// bytes, matching the 128-bit load).
+#[inline]
+#[target_feature(enable = "avx512f,avx512bw")]
+unsafe fn broadcast_table(table: &[u8; 16]) -> __m512i {
+    // SAFETY: reads exactly 16 bytes from a 16-byte array, unaligned form.
+    unsafe { _mm512_broadcast_i32x4(_mm_loadu_si128(table.as_ptr().cast())) }
+}
+
+/// `dst ^= c · src` (or `dst = c · src` when `overwrite`): full 64-byte
+/// chunks plus one masked tail pass.
+///
+/// # Safety
+///
+/// Caller must ensure the host supports AVX-512F + AVX-512BW and
+/// `dst.len() == src.len()`.
+#[target_feature(enable = "avx512f,avx512bw")]
+unsafe fn body(dst: &mut [u8], src: &[u8], c: u8, overwrite: bool) {
+    let (lo, hi) = nibble_tables(c);
+    let len = dst.len();
+    // SAFETY: every full-vector access is bounded by `i + 64 <= len` (the
+    // caller guarantees `src.len() == dst.len()`); the tail load/store is
+    // masked to `rem = len - i < 64` lanes, so no byte outside the slices
+    // is touched. Unaligned loadu/storeu forms throughout.
+    unsafe {
+        let lo_t = broadcast_table(&lo);
+        let hi_t = broadcast_table(&hi);
+        let mask = _mm512_set1_epi8(0x0F);
+        let mut i = 0;
+        while i + 64 <= len {
+            let s = _mm512_loadu_si512(src.as_ptr().add(i).cast());
+            let prod = product(lo_t, hi_t, mask, s);
+            let out = if overwrite {
+                prod
+            } else {
+                _mm512_xor_si512(_mm512_loadu_si512(dst.as_ptr().add(i).cast()), prod)
+            };
+            _mm512_storeu_si512(dst.as_mut_ptr().add(i).cast(), out);
+            i += 64;
+        }
+        let rem = len - i;
+        if rem > 0 {
+            let k: __mmask64 = (1u64 << rem) - 1;
+            let s = _mm512_maskz_loadu_epi8(k, src.as_ptr().add(i).cast());
+            let prod = product(lo_t, hi_t, mask, s);
+            let out = if overwrite {
+                prod
+            } else {
+                _mm512_xor_si512(_mm512_maskz_loadu_epi8(k, dst.as_ptr().add(i).cast()), prod)
+            };
+            _mm512_mask_storeu_epi8(dst.as_mut_ptr().add(i).cast(), k, out);
+        }
+    }
+}
+
+/// `dst ^= c · src`.
+///
+/// # Safety
+///
+/// Host must support AVX-512F + AVX-512BW; slices must be equal length.
+pub(super) unsafe fn mul_add(dst: &mut [u8], src: &[u8], c: u8) {
+    // SAFETY: the caller's contract is exactly `body`'s.
+    unsafe { body(dst, src, c, false) }
+}
+
+/// `dst = c · src` (overwriting).
+///
+/// # Safety
+///
+/// Host must support AVX-512F + AVX-512BW; slices must be equal length.
+pub(super) unsafe fn mul_into(dst: &mut [u8], src: &[u8], c: u8) {
+    // SAFETY: the caller's contract is exactly `body`'s.
+    unsafe { body(dst, src, c, true) }
+}
+
+/// In-place `dst[i] = c · dst[i]`. A dedicated body (rather than `body`
+/// with `src == dst`) because a `&[u8]`/`&mut [u8]` pair over one buffer is
+/// aliasing UB under Rust's noalias rules.
+///
+/// # Safety
+///
+/// Caller must ensure the host supports AVX-512F + AVX-512BW.
+#[target_feature(enable = "avx512f,avx512bw")]
+pub(super) unsafe fn mul_assign(dst: &mut [u8], c: u8) {
+    let (lo, hi) = nibble_tables(c);
+    let len = dst.len();
+    // SAFETY: every access reads and writes through `dst`'s own pointer,
+    // bounded by `i + 64 <= len` for full vectors and by the `rem`-lane
+    // mask for the tail.
+    unsafe {
+        let lo_t = broadcast_table(&lo);
+        let hi_t = broadcast_table(&hi);
+        let mask = _mm512_set1_epi8(0x0F);
+        let mut i = 0;
+        while i + 64 <= len {
+            let s = _mm512_loadu_si512(dst.as_ptr().add(i).cast());
+            _mm512_storeu_si512(dst.as_mut_ptr().add(i).cast(), product(lo_t, hi_t, mask, s));
+            i += 64;
+        }
+        let rem = len - i;
+        if rem > 0 {
+            let k: __mmask64 = (1u64 << rem) - 1;
+            let s = _mm512_maskz_loadu_epi8(k, dst.as_ptr().add(i).cast());
+            let prod = product(lo_t, hi_t, mask, s);
+            _mm512_mask_storeu_epi8(dst.as_mut_ptr().add(i).cast(), k, prod);
+        }
+    }
+}
+
+/// `dst ^= src` over 64-byte lanes with a masked tail.
+///
+/// # Safety
+///
+/// Host must support AVX-512F + AVX-512BW; slices must be equal length.
+#[target_feature(enable = "avx512f,avx512bw")]
+pub(super) unsafe fn xor_assign(dst: &mut [u8], src: &[u8]) {
+    let len = dst.len();
+    // SAFETY: full vectors bounded by `i + 64 <= len` (caller guarantees
+    // equal lengths), tail masked to the remaining lanes.
+    unsafe {
+        let mut i = 0;
+        while i + 64 <= len {
+            let d = _mm512_loadu_si512(dst.as_ptr().add(i).cast());
+            let s = _mm512_loadu_si512(src.as_ptr().add(i).cast());
+            _mm512_storeu_si512(dst.as_mut_ptr().add(i).cast(), _mm512_xor_si512(d, s));
+            i += 64;
+        }
+        let rem = len - i;
+        if rem > 0 {
+            let k: __mmask64 = (1u64 << rem) - 1;
+            let d = _mm512_maskz_loadu_epi8(k, dst.as_ptr().add(i).cast());
+            let s = _mm512_maskz_loadu_epi8(k, src.as_ptr().add(i).cast());
+            _mm512_mask_storeu_epi8(dst.as_mut_ptr().add(i).cast(), k, _mm512_xor_si512(d, s));
+        }
+    }
+}
+
+/// Four-source blocked axpy: all eight half-byte tables live in `zmm`
+/// registers for the whole sweep and each 64-byte destination chunk is
+/// loaded and stored once for the four sources; the tail runs the same
+/// four-source fold under a byte mask.
+///
+/// # Safety
+///
+/// Host must support AVX-512F + AVX-512BW; all slices must be equal length.
+#[target_feature(enable = "avx512f,avx512bw")]
+pub(super) unsafe fn dot4(dst: &mut [u8], srcs: &[&[u8]; 4], cs: [u8; 4]) {
+    let len = dst.len();
+    // SAFETY: table loads read 16 bytes from 16-byte arrays; every region
+    // access is bounded by `i + 64 <= len` or masked to the remaining
+    // lanes, and the caller guarantees all four sources equal `dst`'s
+    // length.
+    unsafe {
+        let mut lo_t = [_mm512_setzero_si512(); 4];
+        let mut hi_t = [_mm512_setzero_si512(); 4];
+        for j in 0..4 {
+            let (lo, hi) = nibble_tables(cs[j]);
+            lo_t[j] = broadcast_table(&lo);
+            hi_t[j] = broadcast_table(&hi);
+        }
+        let mask = _mm512_set1_epi8(0x0F);
+        let mut i = 0;
+        while i + 64 <= len {
+            let mut acc = _mm512_loadu_si512(dst.as_ptr().add(i).cast());
+            for j in 0..4 {
+                let s = _mm512_loadu_si512(srcs[j].as_ptr().add(i).cast());
+                acc = _mm512_xor_si512(acc, product(lo_t[j], hi_t[j], mask, s));
+            }
+            _mm512_storeu_si512(dst.as_mut_ptr().add(i).cast(), acc);
+            i += 64;
+        }
+        let rem = len - i;
+        if rem > 0 {
+            let k: __mmask64 = (1u64 << rem) - 1;
+            let mut acc = _mm512_maskz_loadu_epi8(k, dst.as_ptr().add(i).cast());
+            for j in 0..4 {
+                let s = _mm512_maskz_loadu_epi8(k, srcs[j].as_ptr().add(i).cast());
+                acc = _mm512_xor_si512(acc, product(lo_t[j], hi_t[j], mask, s));
+            }
+            _mm512_mask_storeu_epi8(dst.as_mut_ptr().add(i).cast(), k, acc);
+        }
+    }
+}

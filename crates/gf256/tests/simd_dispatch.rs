@@ -4,8 +4,13 @@
 //! non-SIMD hosts still exercise the dispatch seam — must be bit-identical
 //! to the scalar ground truth across all 256 coefficients and the full set
 //! of unaligned region lengths: 0, 1, around one vector (15/16/17), around
-//! two vectors (31/32/33), and 4 KiB ± 1 (the paper's streaming block
-//! size).
+//! two vectors (31/32/33), around one 512-bit vector (63/64/65, the
+//! masked-tail boundary of the `Avx512`/`Gfni` rungs), and 4 KiB ± 1 (the
+//! paper's streaming block size).
+//!
+//! Kernels the CPU lacks are still pushed through the dispatcher (they must
+//! degrade portably, not fault); `report_skipped_kernels` prints a visible
+//! `SKIPPED` marker per rung that could not be natively exercised.
 
 use nc_gf256::region::{self, Backend};
 use nc_gf256::scalar::mul_loop;
@@ -16,21 +21,30 @@ use nc_gf256::simd::{
 use proptest::prelude::*;
 
 /// The ISSUE's length ladder: empty, single byte, one-vector ± 1,
-/// two-vector ± 1, and 4 KiB ± 1.
-const LENGTHS: [usize; 11] = [0, 1, 15, 16, 17, 31, 32, 33, 4095, 4096, 4097];
+/// two-vector ± 1, one 64-byte vector ± 1, and 4 KiB ± 1.
+const LENGTHS: [usize; 14] = [0, 1, 15, 16, 17, 31, 32, 33, 63, 64, 65, 4095, 4096, 4097];
 
-/// Every kernel the host can run, plus Portable (already included) — and
-/// deliberately also each foreign kernel, which must degrade to the
+/// Every enum variant, in native-or-degraded order: the kernels the host
+/// can run first, then each foreign kernel, which must degrade to the
 /// portable path instead of faulting.
 fn kernels_under_test() -> Vec<SimdKernel> {
     let mut ks = simd::SimdKernel::available();
-    for k in [SimdKernel::Avx2, SimdKernel::Ssse3, SimdKernel::Neon] {
+    for k in ALL_KERNELS {
         if !ks.contains(&k) {
             ks.push(k);
         }
     }
     ks
 }
+
+const ALL_KERNELS: [SimdKernel; 6] = [
+    SimdKernel::Gfni,
+    SimdKernel::Avx512,
+    SimdKernel::Avx2,
+    SimdKernel::Ssse3,
+    SimdKernel::Neon,
+    SimdKernel::Portable,
+];
 
 fn pattern(len: usize, salt: usize) -> Vec<u8> {
     (0..len).map(|i| (i.wrapping_mul(37) + salt) as u8).collect()
@@ -137,6 +151,46 @@ fn blocked_dot_matches_row_at_a_time() {
             }
         }
     }
+}
+
+#[test]
+fn report_skipped_kernels() {
+    // Not an assertion: a visible audit trail. `cargo test -- --nocapture`
+    // (and any failing run) shows exactly which rungs ran natively and
+    // which were only exercised through the degraded-dispatch path.
+    for k in ALL_KERNELS {
+        if k.is_available() {
+            println!("kernel {:>8}: exercised natively", k.name());
+        } else {
+            println!("kernel {:>8}: SKIPPED (CPU lacks feature; degraded path tested)", k.name());
+        }
+    }
+}
+
+#[test]
+fn in_place_mul_assign_matches_out_of_place() {
+    // The in-place rung is a dedicated body on every SIMD kernel (a
+    // `&[u8]`/`&mut [u8]` pair over one buffer would be aliasing UB), so
+    // pin it against `mul_into` from a pristine copy of the same data.
+    for &len in &LENGTHS {
+        let data0 = pattern(len, 61);
+        for c in [0u8, 1, 2, 0x53, 0x80, 0xFF] {
+            for kernel in kernels_under_test() {
+                let mut out_of_place = vec![0u8; len];
+                mul_into_with_kernel(kernel, &mut out_of_place, &data0, c);
+                let mut in_place = data0.clone();
+                mul_assign_with_kernel(kernel, &mut in_place, c);
+                assert_eq!(in_place, out_of_place, "kernel {kernel:?}, c={c}, len={len}");
+            }
+        }
+    }
+}
+
+#[test]
+fn kernel_ids_are_distinct_and_stable() {
+    // The `gf.kernel_id` gauge is only useful if ids never collide or move.
+    let ids: Vec<u8> = ALL_KERNELS.iter().map(|k| k.id()).collect();
+    assert_eq!(ids, [5, 4, 2, 1, 3, 0]);
 }
 
 #[test]

@@ -619,7 +619,7 @@ mod tests {
 
     #[test]
     fn unknown_codec_id_is_rejected_cleanly_never_a_panic() {
-        for unknown in [2u8, 7, 0x7F, 0xFF] {
+        for unknown in [3u8, 7, 0x7F, 0xFF] {
             let mut payload = announce_payload_v1();
             payload.push(unknown);
             let wire = raw_datagram(VERSION, 2, 9, &payload);
@@ -628,6 +628,14 @@ mod tests {
                 Err(WireError::UnknownCodec { found: unknown }),
                 "codec byte {unknown}"
             );
+        }
+        // Codec byte 2 became the circular-shift codec: known, not an error.
+        let mut payload = announce_payload_v1();
+        payload.push(CodecId::CircShift.to_wire());
+        let announce = Datagram::decode(&raw_datagram(VERSION, 2, 9, &payload)).unwrap();
+        match announce.payload {
+            Payload::Announce(meta) => assert_eq!(meta.codec, CodecId::CircShift),
+            other => panic!("expected announce, got {other:?}"),
         }
     }
 
